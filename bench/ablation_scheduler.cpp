@@ -1,0 +1,107 @@
+// Ablation of the scheduler design choices DESIGN.md §2.2 calls out:
+//   * SharingMode: shared snapshots vs per-consumer recomputation (kTree)
+//   * MFG merging on/off (also covered per-model by fig7/fig8)
+//   * effective partition width (the "width headroom" ladder)
+// Reported per workload family: wavefronts (initiation interval), scheduled
+// instances (compute cost), and whether shared mode fit the snapshot lanes.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "core/mfg.hpp"
+#include "core/schedule.hpp"
+#include "netlist/random_circuits.hpp"
+#include "opt/passes.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace {
+
+using namespace lbnn;
+
+Netlist prepared(Netlist nl, Level pad_to) {
+  nl = optimize(nl);
+  nl = tech_map(nl, CellLibrary::lut4_full());
+  nl = eliminate_dead(nl);
+  return balance_paths(nl, pad_to);
+}
+
+struct Row {
+  std::string name;
+  Netlist netlist;
+};
+
+}  // namespace
+
+int main() {
+  LpuConfig cfg;
+  cfg.m = 16;
+  cfg.n = 8;
+
+  Rng gen(1);
+  std::vector<Row> rows;
+  rows.push_back({"tree64", prepared(random_tree(64, gen), 7)});
+  rows.push_back({"grid16x6", prepared(reconvergent_grid(16, 6, gen), 7)});
+  {
+    RandomCircuitSpec spec;
+    spec.num_inputs = 16;
+    spec.num_gates = 500;
+    spec.num_outputs = 8;
+    rows.push_back({"dag500", prepared(random_dag(spec, gen), 15)});
+  }
+
+  std::cout << "SCHEDULER ABLATION (m=" << cfg.m << ", n=" << cfg.n << ")\n\n";
+  std::cout << std::left << std::setw(10) << "circuit" << std::setw(8) << "merge"
+            << std::right << std::setw(12) << "shared W" << std::setw(12)
+            << "shared inst" << std::setw(12) << "tree W" << std::setw(12)
+            << "tree inst" << std::setw(10) << "dup\n";
+  lbnn::bench::print_rule(76);
+
+  for (const auto& row : rows) {
+    for (const bool merge : {false, true}) {
+      PartitionOptions popt;
+      popt.m = cfg.m;
+      popt.band = cfg.n;
+      MfgForest forest = partition(row.netlist, popt);
+      if (merge) merge_mfgs(forest, popt.m);
+
+      std::string shared_w = "lanes!";
+      std::string shared_i = "-";
+      try {
+        const Schedule s = build_schedule(forest, cfg, SharingMode::kShared);
+        shared_w = std::to_string(s.stats.wavefronts);
+        shared_i = std::to_string(s.stats.instances);
+      } catch (const CompileError&) {
+        // shared snapshots exceeded the m lanes; the ladder falls to kTree
+      }
+      const Schedule t = build_schedule(forest, cfg, SharingMode::kTree);
+
+      std::cout << std::left << std::setw(10) << row.name << std::setw(8)
+                << (merge ? "on" : "off") << std::right << std::setw(12)
+                << shared_w << std::setw(12) << shared_i << std::setw(12)
+                << t.stats.wavefronts << std::setw(12) << t.stats.instances
+                << std::setw(10) << t.stats.duplicates << "\n";
+    }
+  }
+  lbnn::bench::print_rule(76);
+
+  // Width-headroom ladder: effective m after compile() across tight configs.
+  std::cout << "\nwidth-headroom ladder (compile() attempt outcomes):\n";
+  for (const std::uint32_t m : {4u, 8u, 16u}) {
+    CompileOptions copt;
+    copt.lpu.m = m;
+    copt.lpu.n = 8;
+    Rng g2(3);
+    const Netlist nl = reconvergent_grid(16, 6, g2);
+    const CompileResult res = compile(nl, copt);
+    std::cout << "  m=" << std::setw(3) << m << ": effective_m="
+              << res.report.effective_m << " tree_sharing="
+              << (res.report.tree_sharing ? "yes" : "no") << " retries="
+              << res.report.retries << " wavefronts=" << res.report.wavefronts
+              << " duplicates=" << res.report.duplicates << "\n";
+  }
+  return 0;
+}

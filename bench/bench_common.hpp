@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baselines/lpu_throughput.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace lbnn::bench {
+
+/// The paper's LPU configuration (Table I: LPV count = 16, 333 MHz).
+inline LpuConfig paper_lpu(std::uint32_t n = 16) {
+  LpuConfig cfg;
+  cfg.m = 64;
+  cfg.n = n;
+  cfg.tsw = 5;
+  cfg.clock_mhz = 333.0;
+  return cfg;
+}
+
+/// Workload synthesis preset: NullaNet-Tiny neurons (fan-in-pruned,
+/// QM-minimized), which is what the paper's upstream flow feeds the LPU.
+/// See EXPERIMENTS.md "workload scaling" for how measured schedules
+/// extrapolate to full layer dimensions.
+inline nn::SynthOptions tiny_synth() {
+  nn::SynthOptions s;
+  s.style = nn::NeuronStyle::kNullaNetTiny;
+  s.fanin_cap = 5;  // NullaNet-Tiny prunes neurons to LUT-sized fan-in
+  s.max_neurons = 24;
+  s.max_inputs = 96;
+  return s;
+}
+
+/// Format a throughput in the paper's "K FPS" / "M FPS" style.
+inline std::string fps_str(double fps) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (fps >= 1e6) {
+    os << fps / 1e6 << "M";
+  } else if (fps >= 1e3) {
+    os << fps / 1e3 << "K";
+  } else {
+    os << fps;
+  }
+  return os.str();
+}
+
+inline void print_rule(std::size_t width) {
+  std::cout << std::string(width, '-') << "\n";
+}
+
+}  // namespace lbnn::bench

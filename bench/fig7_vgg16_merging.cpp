@@ -1,0 +1,92 @@
+// Reproduces Fig. 7: per-layer effect of the MFG merging procedure on VGG16
+// layers 2-13. (a) computation time (clock cycles of one steady-state pass)
+// and (b) MFG count, with and without Algorithm 3. Expected shape: merging
+// reduces both on every layer, and cycle count correlates strongly with MFG
+// count (the paper's observation in Sec. VI.A).
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/compiler.hpp"
+
+int main() {
+  using namespace lbnn;
+
+  const LpuConfig lpu = bench::paper_lpu();
+  CompileOptions with;
+  with.lpu = lpu;
+  CompileOptions without = with;
+  without.merge = false;
+  const nn::SynthOptions synth = bench::tiny_synth();
+
+  std::cout << "FIG 7: VGG16 layers 2-13, computation time and MFG count, "
+               "with/without merging (LPV count = 16)\n\n";
+  std::cout << std::left << std::setw(9) << "layer" << std::right
+            << std::setw(14) << "cycles w/o" << std::setw(14) << "cycles w/"
+            << std::setw(10) << "speedup" << std::setw(12) << "MFGs w/o"
+            << std::setw(12) << "MFGs w/" << std::setw(12) << "reduction\n";
+  bench::print_rule(83);
+
+  const nn::ModelDesc vgg = nn::vgg16();
+  Rng rng(99);
+  double sum_speedup = 0;
+  double sum_reduction = 0;
+  // Correlation accumulator between cycles and MFG count across settings.
+  std::vector<double> xs, ys;
+  for (const auto& layer : vgg.layers) {
+    // Model 1/8 of each layer's filters (min 8, max 64) so the per-layer
+    // profile of Fig. 7 — wider layers cost more — survives the scaling.
+    nn::SynthOptions layer_synth = synth;
+    layer_synth.max_neurons =
+        std::min<std::size_t>(64, std::max<std::size_t>(8, layer.out_neurons / 8));
+    const nn::LayerWorkload wl = nn::synthesize_layer_ffcl(layer, layer_synth, rng);
+    const CompileResult merged = compile(wl.ffcl, with);
+    const CompileResult plain = compile(wl.ffcl, without);
+
+    const double cyc_with = static_cast<double>(merged.program.steady_state_interval_cycles());
+    const double cyc_without = static_cast<double>(plain.program.steady_state_interval_cycles());
+    const double speedup = cyc_without / cyc_with;
+    const double reduction = static_cast<double>(plain.report.mfgs_after_merge) /
+                             static_cast<double>(merged.report.mfgs_after_merge);
+    sum_speedup += speedup;
+    sum_reduction += reduction;
+    xs.push_back(static_cast<double>(merged.report.mfgs_after_merge));
+    ys.push_back(cyc_with);
+    xs.push_back(static_cast<double>(plain.report.mfgs_after_merge));
+    ys.push_back(cyc_without);
+
+    std::cout << std::left << std::setw(9) << layer.name << std::right
+              << std::fixed << std::setprecision(0) << std::setw(14)
+              << cyc_without << std::setw(14) << cyc_with << std::setw(9)
+              << std::setprecision(2) << speedup << "x" << std::setw(12)
+              << plain.report.mfgs_after_merge << std::setw(12)
+              << merged.report.mfgs_after_merge << std::setw(11) << reduction
+              << "x\n";
+  }
+  bench::print_rule(83);
+
+  // Pearson correlation between MFG count and cycle count.
+  const std::size_t n = xs.size();
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  const double corr = sxy / std::sqrt(sxx * syy);
+  std::cout << std::setprecision(2);
+  std::cout << "mean speedup from merging: " << sum_speedup / 12.0 << "x; "
+            << "mean MFG reduction: " << sum_reduction / 12.0 << "x\n";
+  std::cout << "correlation(MFG count, cycles) = " << corr
+            << " (paper: \"high correlation between computation time and the "
+               "MFG count\")\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 9: inference time of VGG16 and LENET5 as a function of the
+// LPV count, plus the "effective LPV threshold" against NullaDSP (the
+// minimum LPV count at which the LPU matches NullaDSP's throughput; the
+// paper finds >= 2 LPVs suffice for VGG16). Expected shape: inference time
+// falls with LPV count and saturates.
+
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/baseline_models.hpp"
+#include "baselines/lpu_throughput.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lbnn;
+  using namespace lbnn::baselines;
+
+  const nn::SynthOptions synth = bench::tiny_synth();
+  const std::vector<std::uint32_t> lpv_counts{2, 4, 8, 16, 24, 32, 48, 64};
+
+  std::cout << "FIG 9: inference time vs LPV count (ms per frame)\n\n";
+  std::cout << std::left << std::setw(8) << "LPVs";
+  for (const char* name : {"VGG16", "LENET5"}) {
+    std::cout << std::right << std::setw(16) << name;
+  }
+  std::cout << "\n";
+  bench::print_rule(40);
+
+  const std::vector<nn::ModelDesc> models = {nn::vgg16(), nn::lenet5()};
+  std::vector<std::vector<double>> frame_ms(models.size());
+  for (const std::uint32_t n : lpv_counts) {
+    std::cout << std::left << std::setw(8) << n;
+    for (std::size_t mi = 0; mi < models.size(); ++mi) {
+      const LpuConfig lpu = bench::paper_lpu(n);
+      CompileOptions copts;
+      copts.lpu = lpu;
+      const auto layers = compile_model_layers(models[mi], synth, copts, 5);
+      const double cycles = lpu_cycles_per_frame(layers, lpu);
+      const double ms = cycles / (lpu.clock_mhz * 1e3);
+      frame_ms[mi].push_back(ms);
+      std::cout << std::right << std::fixed << std::setprecision(4)
+                << std::setw(14) << ms * 1e3 << "us";
+    }
+    std::cout << "\n";
+  }
+  bench::print_rule(40);
+
+  // Monotone-ish decrease and saturation summary.
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const double first = frame_ms[mi].front();
+    const double last = frame_ms[mi].back();
+    const double at16 = frame_ms[mi][3];
+    std::cout << models[mi].name << ": 2->64 LPVs speeds up "
+              << std::setprecision(2) << first / last
+              << "x; beyond 16 LPVs only " << at16 / last
+              << "x remains (saturation)\n";
+  }
+
+  // Effective LPV threshold vs NullaDSP (published FPS).
+  std::cout << "\nEffective LPV threshold vs NullaDSP:\n";
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    const auto dsp = nulla_dsp(models[mi]);
+    if (!dsp.fps_published) continue;
+    const double target_ms = 1e3 / *dsp.fps_published;
+    std::uint32_t threshold = 0;
+    for (std::size_t k = 0; k < lpv_counts.size(); ++k) {
+      if (frame_ms[mi][k] <= target_ms) {
+        threshold = lpv_counts[k];
+        break;
+      }
+    }
+    std::cout << "  " << models[mi].name << ": NullaDSP = "
+              << bench::fps_str(*dsp.fps_published) << " FPS; LPU matches it "
+              << "from " << threshold << " LPVs (paper: >= 2 LPVs for VGG16)\n";
+  }
+  return 0;
+}

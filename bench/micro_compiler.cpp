@@ -1,0 +1,108 @@
+// google-benchmark micro-benchmarks of the compiler kernels: optimization,
+// path balancing, MFG partitioning/merging, scheduling, and the full
+// compile() pipeline across circuit sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hpp"
+#include "core/mfg.hpp"
+#include "core/schedule.hpp"
+#include "netlist/random_circuits.hpp"
+#include "opt/passes.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace {
+
+using namespace lbnn;
+
+Netlist make_grid(std::int64_t width, std::int64_t layers) {
+  Rng rng(42);
+  return reconvergent_grid(static_cast<std::size_t>(width),
+                           static_cast<std::size_t>(layers), rng);
+}
+
+Netlist prepared(const Netlist& nl) {
+  return balance_paths(eliminate_dead(tech_map(optimize(nl), CellLibrary::lut4_full())));
+}
+
+void BM_Optimize(benchmark::State& state) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 16;
+  spec.num_gates = static_cast<std::size_t>(state.range(0));
+  spec.num_outputs = 8;
+  Rng rng(1);
+  const Netlist nl = random_dag(spec, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(nl));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Optimize)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_PathBalance(benchmark::State& state) {
+  const Netlist nl = make_grid(state.range(0), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(balance_paths(nl));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_PathBalance)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Partition(benchmark::State& state) {
+  const Netlist nl = prepared(make_grid(state.range(0), 12));
+  PartitionOptions opt;
+  opt.m = 16;
+  opt.band = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition(nl, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_Partition)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_Merge(benchmark::State& state) {
+  const Netlist nl = prepared(make_grid(state.range(0), 12));
+  PartitionOptions opt;
+  opt.m = 16;
+  opt.band = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MfgForest forest = partition(nl, opt);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(merge_mfgs(forest, opt.m));
+  }
+}
+BENCHMARK(BM_Merge)->Arg(32)->Arg(128);
+
+void BM_Schedule(benchmark::State& state) {
+  const Netlist nl = prepared(make_grid(state.range(0), 12));
+  PartitionOptions opt;
+  opt.m = 16;
+  opt.band = 16;
+  MfgForest forest = partition(nl, opt);
+  merge_mfgs(forest, opt.m);
+  LpuConfig cfg;
+  cfg.m = 16;
+  cfg.n = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_schedule(forest, cfg, SharingMode::kShared));
+  }
+}
+BENCHMARK(BM_Schedule)->Arg(32)->Arg(128);
+
+void BM_FullCompile(benchmark::State& state) {
+  const Netlist nl = make_grid(state.range(0), 12);
+  CompileOptions opt;
+  opt.lpu.m = 16;
+  opt.lpu.n = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile(nl, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(nl.num_gates()));
+}
+BENCHMARK(BM_FullCompile)->Arg(32)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// google-benchmark micro-benchmarks of the LPU cycle simulator and the
+// reference netlist simulator (simulation throughput in lanes x gates / s).
+
+#include <benchmark/benchmark.h>
+
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+
+namespace {
+
+using namespace lbnn;
+
+void BM_ReferenceSimulator(benchmark::State& state) {
+  Rng gen(3);
+  const Netlist nl = reconvergent_grid(static_cast<std::size_t>(state.range(0)), 12, gen);
+  Rng rng(7);
+  const auto inputs = random_inputs(nl, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(nl, inputs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.num_gates()) * 128);
+}
+BENCHMARK(BM_ReferenceSimulator)->Arg(64)->Arg(256);
+
+void BM_LpuSimulator(benchmark::State& state) {
+  Rng gen(3);
+  const Netlist nl = reconvergent_grid(static_cast<std::size_t>(state.range(0)), 12, gen);
+  CompileOptions opt;
+  opt.lpu.m = 32;
+  opt.lpu.n = 16;
+  const CompileResult res = compile(nl, opt);
+  LpuSimulator sim(res.program);
+  Rng rng(9);
+  const auto inputs = random_inputs(nl, res.program.cfg.effective_word_width(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(inputs));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(res.program.clock_cycles()));
+  state.counters["wavefronts"] =
+      static_cast<double>(res.program.num_wavefronts);
+  state.counters["lpe_util"] = sim.counters().lpe_utilization;
+}
+BENCHMARK(BM_LpuSimulator)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LpuWordWidthScaling(benchmark::State& state) {
+  Rng gen(5);
+  const Netlist nl = reconvergent_grid(48, 10, gen);
+  CompileOptions opt;
+  opt.lpu.m = 32;
+  opt.lpu.n = 12;
+  opt.lpu.word_width = static_cast<std::uint32_t>(state.range(0));
+  const CompileResult res = compile(nl, opt);
+  LpuSimulator sim(res.program);
+  Rng rng(11);
+  const auto inputs = random_inputs(nl, opt.lpu.effective_word_width(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(inputs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LpuWordWidthScaling)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

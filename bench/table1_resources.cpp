@@ -1,0 +1,50 @@
+// Reproduces Table I: resource utilization of the LPU design with
+// LPV count = 16 on a Xilinx VU9P, plus a scaling sweep the paper's future
+// work points at (heterogeneous / larger configurations).
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "resources/resource_model.hpp"
+
+int main() {
+  using namespace lbnn;
+  using resources::estimate_lpu;
+
+  std::cout << "TABLE I: Resource utilization of design of LPV count = 16\n";
+  std::cout << "(analytic model calibrated to the VU9P prototype; "
+               "paper: FF 478K(20.2%) LUT 433K(36.7%) BRAM 12240Kb(15.8%) 333MHz)\n\n";
+
+  const LpuConfig cfg = bench::paper_lpu();
+  const auto r = estimate_lpu(cfg);
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << std::setw(14) << "FF(%)" << std::setw(16) << "LUT(%)"
+            << std::setw(18) << "BRAM(%)" << std::setw(10) << "FREQ\n";
+  lbnn::bench::print_rule(58);
+  std::cout << std::setw(7) << r.flip_flops / 1e3 << "K(" << std::setprecision(1)
+            << r.ff_pct() << "%)"
+            << std::setw(9) << r.luts / 1e3 << "K(" << r.lut_pct() << "%)"
+            << std::setw(10) << r.bram_kb << "K(" << r.bram_pct() << "%)"
+            << std::setw(7) << static_cast<int>(r.freq_mhz) << "MHz\n\n";
+
+  std::cout << "Scaling sweep (same model):\n";
+  std::cout << std::setw(6) << "m" << std::setw(6) << "n" << std::setw(12)
+            << "FF(K)" << std::setw(12) << "LUT(K)" << std::setw(12)
+            << "BRAM(Kb)" << std::setw(10) << "MHz\n";
+  lbnn::bench::print_rule(58);
+  for (const std::uint32_t m : {16u, 32u, 64u, 128u}) {
+    for (const std::uint32_t n : {8u, 16u, 32u}) {
+      LpuConfig c = cfg;
+      c.m = m;
+      c.n = n;
+      const auto e = estimate_lpu(c);
+      std::cout << std::setw(6) << m << std::setw(6) << n << std::setw(12)
+                << e.flip_flops / 1e3 << std::setw(12) << e.luts / 1e3
+                << std::setw(12) << e.bram_kb << std::setw(10)
+                << static_cast<int>(e.freq_mhz) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "nn/model_zoo.hpp"
+
+namespace lbnn::baselines {
+
+/// One accelerator's throughput on one model: an analytic estimate from a
+/// structural model of the design, plus the published figure where the paper
+/// (Tables II/III) or its citations report one. The tables in the paper
+/// quote the *published best results* of each baseline ([12],[17],[8],[1]);
+/// we reproduce those columns from the same sources and keep the analytic
+/// models to show each design's structural bottleneck. Calibration constants
+/// are documented inline and in EXPERIMENTS.md.
+struct BaselineEstimate {
+  std::string accelerator;
+  double fps_model = 0.0;
+  std::optional<double> fps_published;
+};
+
+/// Generic MAC-array accelerator ([14] with the improvements of [12]):
+/// DSP-bound systolic compute plus DMA/control overheads.
+BaselineEstimate mac_array(const nn::ModelDesc& model);
+
+/// XNOR/FINN-style binarized accelerator ([16] + operation packing):
+/// LUT-bound binary ops plus streaming overheads.
+BaselineEstimate xnor_finn(const nn::ModelDesc& model);
+
+/// NullaDSP [12]: FFCL gates evaluated on DSP48 ALUs.
+BaselineEstimate nulla_dsp(const nn::ModelDesc& model);
+
+/// LogicNets [17]: model-specific hard-wired netlist, initiation interval 1
+/// at the reported clock.
+BaselineEstimate logicnets(const nn::ModelDesc& model);
+
+/// Google+CERN hls4ml flow [8] (JSC only in the paper).
+BaselineEstimate hls4ml(const nn::ModelDesc& model);
+
+/// FINN matrix-vector unit RTL implementation [1] (NID in the paper).
+BaselineEstimate finn_mvu(const nn::ModelDesc& model);
+
+/// Published LPU figures from Tables II/III (for reference columns).
+std::optional<double> lpu_published(const std::string& model_name);
+
+}  // namespace lbnn::baselines

@@ -1,0 +1,50 @@
+#include "baselines/lpu_throughput.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lbnn::baselines {
+
+std::vector<LayerLpuResult> compile_model_layers(const nn::ModelDesc& model,
+                                                 const nn::SynthOptions& synth,
+                                                 const CompileOptions& copts,
+                                                 std::uint64_t seed) {
+  std::vector<LayerLpuResult> out;
+  out.reserve(model.layers.size());
+  Rng rng(seed);
+  for (const auto& desc : model.layers) {
+    LayerLpuResult r;
+    r.workload = nn::synthesize_layer_ffcl(desc, synth, rng);
+    const CompileResult cr = compile(r.workload.ffcl, copts);
+    r.report = cr.report;
+    r.wavefronts = cr.program.num_wavefronts;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+double lpu_cycles_per_frame(const std::vector<LayerLpuResult>& layers,
+                            const LpuConfig& cfg) {
+  const double lanes = cfg.effective_word_width();
+  double cycles = 0.0;
+  for (const auto& l : layers) {
+    const double evals_needed = static_cast<double>(l.workload.desc.out_neurons) *
+                                static_cast<double>(l.workload.desc.positions);
+    const double evals_per_pass =
+        static_cast<double>(l.workload.neurons_modeled) * lanes;
+    LBNN_CHECK(evals_per_pass > 0, "degenerate layer workload");
+    const double passes = std::ceil(evals_needed / evals_per_pass);
+    cycles += passes * static_cast<double>(l.wavefronts) * cfg.tc();
+  }
+  return cycles;
+}
+
+double lpu_frames_per_second(const std::vector<LayerLpuResult>& layers,
+                             const LpuConfig& cfg) {
+  const double cycles = lpu_cycles_per_frame(layers, cfg);
+  if (cycles <= 0) return 0.0;
+  return cfg.clock_mhz * 1e6 / cycles;
+}
+
+}  // namespace lbnn::baselines

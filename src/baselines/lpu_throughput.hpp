@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace lbnn::baselines {
+
+/// Result of compiling one layer's FFCL workload for the LPU.
+struct LayerLpuResult {
+  nn::LayerWorkload workload;
+  CompileReport report;
+  /// Steady-state macro cycles of one pass (= wavefronts; a new batch issues
+  /// every num_wavefronts memLocs).
+  std::uint64_t wavefronts = 0;
+};
+
+/// Compile every layer of `model` at the given synthesis scale.
+std::vector<LayerLpuResult> compile_model_layers(const nn::ModelDesc& model,
+                                                 const nn::SynthOptions& synth,
+                                                 const CompileOptions& copts,
+                                                 std::uint64_t seed);
+
+/// Frames per second of the LPU on `model`, scaling the measured per-layer
+/// schedules to the full layer dimensions (EXPERIMENTS.md "workload
+/// scaling"): one pass evaluates neurons_modeled Boolean outputs for
+/// word_width positions in num_wavefronts * tc clock cycles (steady state);
+/// a frame needs out_neurons x positions neuron evaluations per layer.
+double lpu_frames_per_second(const std::vector<LayerLpuResult>& layers,
+                             const LpuConfig& cfg);
+
+/// Clock cycles the LPU spends on one frame of `model` (same scaling).
+double lpu_cycles_per_frame(const std::vector<LayerLpuResult>& layers,
+                            const LpuConfig& cfg);
+
+}  // namespace lbnn::baselines

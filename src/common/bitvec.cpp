@@ -1,0 +1,13 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+
+namespace lbnn {
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lbnn {
+
+/// A fixed-width packed vector of bits with word-parallel logic operations.
+///
+/// BitVec is the data word that flows through the LPU datapath: one operand is
+/// `2m` bits wide, each bit lane carrying an independent Boolean sample (a
+/// different image patch or batch element, per Sec. IV of the paper). The
+/// reference netlist simulator uses the same type so LPU-vs-reference
+/// equivalence is a plain operator== on BitVecs.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  explicit BitVec(std::size_t width, bool fill = false)
+      : width_(width),
+        words_((width + 63) / 64, fill ? ~0ull : 0ull) {
+    mask_tail();
+  }
+
+  std::size_t width() const { return width_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  bool get(std::size_t i) const {
+    LBNN_CHECK(i < width_, "BitVec::get out of range");
+    return (words_[i / 64] >> (i % 64)) & 1ull;
+  }
+
+  void set(std::size_t i, bool v) {
+    LBNN_CHECK(i < width_, "BitVec::set out of range");
+    const std::uint64_t bit = 1ull << (i % 64);
+    if (v) {
+      words_[i / 64] |= bit;
+    } else {
+      words_[i / 64] &= ~bit;
+    }
+  }
+
+  std::uint64_t word(std::size_t w) const { return words_[w]; }
+  void set_word(std::size_t w, std::uint64_t v) {
+    words_[w] = v;
+    if (w + 1 == words_.size()) mask_tail();
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  BitVec operator&(const BitVec& o) const { return binary(o, [](auto a, auto b) { return a & b; }); }
+  BitVec operator|(const BitVec& o) const { return binary(o, [](auto a, auto b) { return a | b; }); }
+  BitVec operator^(const BitVec& o) const { return binary(o, [](auto a, auto b) { return a ^ b; }); }
+
+  BitVec operator~() const {
+    BitVec r(*this);
+    for (auto& w : r.words_) w = ~w;
+    r.mask_tail();
+    return r;
+  }
+
+  bool operator==(const BitVec& o) const {
+    return width_ == o.width_ && words_ == o.words_;
+  }
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// Fill all lanes from an RNG (for random test vectors).
+  template <typename RngT>
+  static BitVec random(std::size_t width, RngT& rng) {
+    BitVec r(width);
+    for (std::size_t w = 0; w < r.words_.size(); ++w) r.words_[w] = rng.next_u64();
+    r.mask_tail();
+    return r;
+  }
+
+ private:
+  template <typename F>
+  BitVec binary(const BitVec& o, F f) const {
+    LBNN_CHECK(width_ == o.width_, "BitVec width mismatch");
+    BitVec r(width_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      r.words_[w] = f(words_[w], o.words_[w]);
+    }
+    r.mask_tail();
+    return r;
+  }
+
+  void mask_tail() {
+    if (width_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ull << (width_ % 64)) - 1;
+    }
+  }
+
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lbnn

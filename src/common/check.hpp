@@ -1,0 +1,17 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+
+/// Internal-invariant checking. LBNN_CHECK is always on (the costs are
+/// negligible next to the algorithms it guards) and throws std::logic_error so
+/// a violated invariant surfaces as a test failure rather than UB.
+#define LBNN_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream lbnn_check_os_;                                   \
+      lbnn_check_os_ << __FILE__ << ":" << __LINE__ << ": check `" << #cond \
+                     << "` failed: " << msg;                               \
+      throw std::logic_error(lbnn_check_os_.str());                        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,16 @@
+#include "common/error.hpp"
+
+namespace lbnn {
+namespace {
+
+std::string format_location(const std::string& what, int line, int column) {
+  return "line " + std::to_string(line) + ", col " + std::to_string(column) +
+         ": " + what;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& what, int line, int column)
+    : Error(format_location(what, line, column)), line_(line), column_(column) {}
+
+}  // namespace lbnn

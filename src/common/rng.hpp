@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lbnn {
+
+/// xoshiro256** — a small, fast, reproducible PRNG. We avoid std::mt19937 in
+/// library code so that test fixtures and workload generators produce the same
+/// streams on every platform and standard library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 seeding, per the xoshiro reference implementation.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection-free Lemire reduction is overkill here; modulo bias is
+    // irrelevant for workload generation with bound << 2^64.
+    return next_u64() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lbnn

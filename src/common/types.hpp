@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Fundamental identifier types shared across the library.
+namespace lbnn {
+
+/// Index of a node inside a Netlist. Ids are dense and topologically ordered:
+/// every fanin of a node has a smaller id than the node itself.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. the absent second fanin of a NOT gate).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Index of an MFG (maximal feasible subgraph) inside an MfgForest.
+using MfgId = std::uint32_t;
+
+inline constexpr MfgId kInvalidMfg = std::numeric_limits<MfgId>::max();
+
+/// Logic level of a node. Primary inputs sit at level 0; gates at 1..Lmax.
+using Level = std::int32_t;
+
+/// A lane is the index of an LPE within an LPV (0..m-1).
+using Lane = std::uint16_t;
+
+inline constexpr Lane kInvalidLane = std::numeric_limits<Lane>::max();
+
+}  // namespace lbnn

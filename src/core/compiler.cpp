@@ -1,0 +1,85 @@
+#include "core/compiler.hpp"
+
+#include "common/error.hpp"
+#include "core/emit.hpp"
+#include "core/mfg.hpp"
+#include "core/schedule.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace lbnn {
+
+CompileResult compile(const Netlist& input, const CompileOptions& options) {
+  options.lpu.validate();
+  if (options.lpu.n < 2) {
+    throw CompileError("LPU needs at least 2 LPVs (chaining and feedback both "
+                       "require a successor stage)");
+  }
+  input.validate();
+  if (input.num_outputs() == 0) throw CompileError("netlist has no outputs");
+  if (input.num_inputs() == 0) throw CompileError("netlist has no inputs");
+
+  CompileReport report;
+
+  // ---- pre-processing (Fig. 1 step 1) --------------------------------------
+  Netlist nl = options.optimize ? optimize(input, &report.opt) : input;
+  nl = tech_map(nl, options.library);
+  nl = eliminate_dead(nl);  // guarantees every Lmax node is a primary output
+
+  // Full path balancing, padding outputs so Lmax lands on the last LPV of the
+  // final circulation pass (Lmax ≡ n-1 mod n).
+  const std::uint32_t n = options.lpu.n;
+  const Level depth = nl.depth();
+  const Level target =
+      static_cast<Level>(((static_cast<std::uint32_t>(depth) + n) / n) * n - 1);
+  nl = balance_paths(nl, target);
+  report.preprocessed = compute_stats(nl);
+  report.lmax = nl.depth();
+
+  // ---- partition / merge / schedule ----------------------------------------
+  // Attempt ladder: shared scheduling first (no recomputation), then tree
+  // duplication (which provably fits the lanes but recomputes shared cones),
+  // then the same pair at halved partition widths if duplication blew the
+  // instance budget.
+  std::uint32_t m_eff = options.lpu.m;
+  std::uint32_t attempt = 0;
+  for (std::uint32_t round = 0;; ++round) {
+    PartitionOptions popt;
+    popt.m = m_eff;
+    popt.band = n;
+    MfgForest forest = partition(nl, popt);
+    report.mfgs_before_merge = forest.num_alive();
+    report.merges = options.merge ? merge_mfgs(forest, m_eff) : 0;
+    report.mfgs_after_merge = forest.num_alive();
+
+    for (const SharingMode mode : {SharingMode::kShared, SharingMode::kTree}) {
+      try {
+        Schedule sched = build_schedule(forest, options.lpu, mode);
+        Program prog = emit_program(forest, sched, options.lpu);
+
+        report.wavefronts = sched.stats.wavefronts;
+        report.bubbles = sched.stats.bubbles;
+        report.bands = sched.stats.bands;
+        report.chained_mfgs = sched.stats.chained_mfgs;
+        report.instances = sched.stats.instances;
+        report.duplicates = sched.stats.duplicates;
+        report.tree_sharing = mode == SharingMode::kTree;
+        report.effective_m = m_eff;
+        report.retries = attempt;
+        return CompileResult{std::move(prog), report};
+      } catch (const CompileError&) {
+        ++attempt;
+        if (round >= options.width_headroom_retries && mode == SharingMode::kTree) {
+          throw;
+        }
+      }
+    }
+    if (m_eff <= 2) {
+      throw CompileError("cannot schedule the network on this LPU even at "
+                         "minimal partition width");
+    }
+    m_eff = m_eff / 2;
+  }
+}
+
+}  // namespace lbnn

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/lpu_config.hpp"
+#include "core/program.hpp"
+#include "logic/cell_library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "opt/passes.hpp"
+
+namespace lbnn {
+
+/// Options of the full compilation flow (Fig. 1).
+struct CompileOptions {
+  LpuConfig lpu;
+  /// Run the logic-minimization rewrites (pre-processing step 1).
+  bool optimize = true;
+  /// Run the MFG merging procedure (Alg. 3). Fig. 7/8 ablate this.
+  bool merge = true;
+  CellLibrary library = CellLibrary::lut4_full();
+  /// On snapshot-lane allocation failure, halve the effective partition width
+  /// and retry up to this many times (width headroom, DESIGN.md 2.2).
+  std::uint32_t width_headroom_retries = 4;
+};
+
+/// What happened during compilation — drives the paper's figures.
+struct CompileReport {
+  OptStats opt;
+  NetlistStats preprocessed;  ///< after mapping + FPB + PO padding
+  Level lmax = 0;
+  std::size_t mfgs_before_merge = 0;
+  std::size_t mfgs_after_merge = 0;  ///< == before when merging disabled
+  std::size_t merges = 0;
+  std::uint32_t wavefronts = 0;
+  std::uint32_t bubbles = 0;
+  std::uint32_t bands = 0;  ///< circulation passes through the LPU
+  std::uint32_t chained_mfgs = 0;
+  std::uint32_t instances = 0;   ///< scheduled MFG instances
+  std::uint32_t duplicates = 0;  ///< recomputed instances (kTree sharing)
+  bool tree_sharing = false;     ///< scheduler fell back to duplication
+  std::uint32_t effective_m = 0;  ///< partition width actually used
+  std::uint32_t retries = 0;
+};
+
+struct CompileResult {
+  Program program;
+  CompileReport report;
+};
+
+/// Compile an FFCL netlist into an LPU program: optimize, map to the cell
+/// library, levelize + fully path balance, partition into MFGs (band = n for
+/// the depth issue), optionally merge, schedule, and emit instructions.
+/// Throws CompileError when the network cannot be mapped (and the width
+/// headroom retries are exhausted).
+CompileResult compile(const Netlist& input, const CompileOptions& options);
+
+}  // namespace lbnn

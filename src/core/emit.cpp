@@ -1,0 +1,140 @@
+#include "core/emit.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn {
+namespace {
+
+/// Lane of node `x` at level index `i` of the given instance (level vectors
+/// are sorted, lane maps parallel).
+Lane lane_of(const MfgForest& forest, const MfgInstance& inst, std::size_t i,
+             NodeId x) {
+  const auto& lv = forest.at(inst.mfg).levels[i];
+  const auto it = std::lower_bound(lv.begin(), lv.end(), x);
+  LBNN_CHECK(it != lv.end() && *it == x, "node missing from MFG level");
+  return inst.lanes.lanes[i][static_cast<std::size_t>(it - lv.begin())];
+}
+
+/// Lane of node `x` in the top level of the producing instance.
+Lane root_lane(const MfgForest& forest, const MfgInstance& producer, NodeId x) {
+  return lane_of(forest, producer, forest.at(producer.mfg).levels.size() - 1, x);
+}
+
+}  // namespace
+
+Program emit_program(const MfgForest& forest, const Schedule& sched,
+                     const LpuConfig& cfg) {
+  const Netlist& nl = forest.netlist();
+  const std::uint32_t n = cfg.n;
+  const std::uint32_t m = cfg.m;
+
+  Program prog;
+  prog.cfg = cfg;
+  prog.num_wavefronts = static_cast<std::uint32_t>(sched.wavefronts.size());
+  prog.instr.assign(prog.num_wavefronts, std::vector<LpvInstr>(n));
+  prog.num_primary_inputs = static_cast<std::uint32_t>(nl.num_inputs());
+  prog.num_primary_outputs = static_cast<std::uint32_t>(nl.num_outputs());
+
+  // Input buffer: one word per primary input, addressed by PI index.
+  prog.input_layout.resize(nl.num_inputs());
+  for (std::uint32_t i = 0; i < nl.num_inputs(); ++i) prog.input_layout[i] = i;
+
+  // PO index lookup: node -> output positions it drives.
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> po_of;
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    po_of[nl.outputs()[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  const Level lmax = nl.depth();
+
+  for (const auto& wave : sched.wavefronts) {
+    for (const std::uint32_t ii : wave) {
+      const MfgInstance& inst = sched.instances[ii];
+      const Mfg& g = forest.at(inst.mfg);
+      const std::uint32_t w = inst.wavefront;
+      const std::uint32_t band = static_cast<std::uint32_t>(g.bottom) / n;
+
+      for (std::size_t i = 0; i < g.levels.size(); ++i) {
+        const Level level = g.bottom + static_cast<Level>(i);
+        const std::uint32_t lpv = static_cast<std::uint32_t>(level) - band * n;
+        LpvInstr& here = prog.instr[w][lpv];
+
+        for (const NodeId x : g.levels[i]) {
+          const Lane lane = lane_of(forest, inst, i, x);
+          const GateOp op = nl.op(x);
+
+          if (op == GateOp::kInput) {
+            // PI load on LPV 0: BUF over the input-buffer word.
+            LBNN_CHECK(level == 0, "primary input above level 0");
+            here.routes.push_back(
+                {static_cast<std::uint16_t>(2 * lane),
+                 SrcSel{SrcSel::Kind::kInput,
+                        static_cast<std::uint32_t>(nl.input_index(x))}});
+            here.computes.push_back({lane, TruthTable4::from_op(GateOp::kBuf)});
+          } else {
+            here.computes.push_back({lane, TruthTable4::from_op(op)});
+            for (int f = 0; f < nl.arity(x); ++f) {
+              const NodeId y = f == 0 ? nl.fanin0(x) : nl.fanin1(x);
+              const std::uint16_t slot = static_cast<std::uint16_t>(2 * lane + f);
+              if (i > 0) {
+                // Intra-MFG edge: previous level of the same instance, same
+                // wavefront, through the switch.
+                here.routes.push_back(
+                    {slot,
+                     SrcSel{SrcSel::Kind::kPrevLane, lane_of(forest, inst, i - 1, y)}});
+              } else if (static_cast<std::uint32_t>(g.bottom) % n == 0 && g.bottom > 0) {
+                // Cross-band edge: read the feedback region of the output
+                // buffer at the producing band root's (wavefront, lane).
+                const MfgId p = forest.producer_of(y);
+                const auto it = sched.band_root_instance.find(p);
+                LBNN_CHECK(it != sched.band_root_instance.end(),
+                           "cross-band producer is not a band root");
+                const MfgInstance& prod = sched.instances[it->second];
+                LBNN_CHECK(w > prod.wavefront + n - 1,
+                           "feedback read outruns its write");
+                here.routes.push_back(
+                    {slot, SrcSel{SrcSel::Kind::kFeedback,
+                                  prod.wavefront * m + root_lane(forest, prod, y)}});
+              } else {
+                // Inter-MFG edge inside a band: the producer instance's
+                // switch stage writes this snapshot slot at the producer's
+                // memLoc; the slot holds until this wavefront consumes it
+                // (or is consumed immediately when chained on the same
+                // memLoc).
+                const auto it = inst.producer_instance.find(y);
+                LBNN_CHECK(it != inst.producer_instance.end(),
+                           "unbound in-band producer");
+                const MfgInstance& prod = sched.instances[it->second];
+                LBNN_CHECK(prod.wavefront <= w, "producer scheduled after consumer");
+                prog.instr[prod.wavefront][lpv].routes.push_back(
+                    {slot, SrcSel{SrcSel::Kind::kPrevLane,
+                                  root_lane(forest, prod, y)}});
+              }
+            }
+          }
+
+          // Exits: POs drain into the output buffer at Lmax; roots at a band
+          // top (last LPV) that feed the next band go to the feedback region.
+          if (level == lmax) {
+            const auto it = po_of.find(x);
+            if (it != po_of.end()) {
+              for (const std::uint32_t po : it->second) {
+                prog.output_taps.push_back({w, lane, po});
+              }
+            }
+          } else if (lpv == n - 1) {
+            prog.instr[w][n - 1].feedback_writes.push_back(lane);
+          }
+        }
+      }
+    }
+  }
+
+  prog.validate();
+  return prog;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "core/mfg.hpp"
+#include "core/program.hpp"
+#include "core/schedule.hpp"
+
+namespace lbnn {
+
+/// Generate the instruction-queue contents (Fig. 6) for a scheduled forest:
+/// LPE micro-ops, switch route writes (including parked-snapshot deliveries
+/// at the producer's memLoc), input-buffer loads, feedback writes/reads for
+/// circulation, and output taps.
+Program emit_program(const MfgForest& forest, const Schedule& sched,
+                     const LpuConfig& cfg);
+
+}  // namespace lbnn

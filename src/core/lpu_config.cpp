@@ -1,0 +1,22 @@
+#include "core/lpu_config.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lbnn {
+
+void LpuConfig::validate() const {
+  if (m == 0) throw Error("LpuConfig: m (LPEs per LPV) must be positive");
+  if (n == 0) throw Error("LpuConfig: n (LPVs per LPU) must be positive");
+  if (clock_mhz <= 0) throw Error("LpuConfig: clock must be positive");
+}
+
+std::string LpuConfig::to_string() const {
+  std::ostringstream os;
+  os << "LPU{m=" << m << ", n=" << n << ", tsw=" << tsw
+     << ", word=" << effective_word_width() << "b, f=" << clock_mhz << "MHz}";
+  return os.str();
+}
+
+}  // namespace lbnn

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lbnn {
+
+/// Architectural parameters of one LPU (Sec. IV).
+///
+/// An LPU is a linear chain of `n` LPVs; each LPV holds `m` LPEs; each LPE
+/// has one 2-input configurable logic unit and two snapshot (input)
+/// registers. Operands are `word_width` bits wide (2m in the paper: 2m
+/// Boolean samples processed in parallel). Data moves LPV-to-LPV through a
+/// non-blocking multicast switch network with `tsw` pipeline stages, so one
+/// macro (compute) cycle costs `tc = 1 + tsw` clock cycles.
+struct LpuConfig {
+  std::uint32_t m = 64;   ///< LPEs per LPV
+  std::uint32_t n = 16;   ///< LPVs per LPU
+  std::uint32_t tsw = 5;  ///< switch network pipeline stages
+  /// Datapath word width in bits; 0 means the paper's default of 2m.
+  std::uint32_t word_width = 0;
+  double clock_mhz = 333.0;  ///< prototype clock (Table I)
+
+  std::uint32_t tc() const { return 1 + tsw; }
+  std::uint32_t effective_word_width() const {
+    return word_width == 0 ? 2 * m : word_width;
+  }
+
+  /// Validate (throws lbnn::Error on nonsense like m == 0).
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace lbnn

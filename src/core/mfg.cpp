@@ -1,0 +1,309 @@
+#include "core/mfg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "opt/path_balance.hpp"
+
+namespace lbnn {
+
+std::size_t Mfg::num_nodes() const {
+  std::size_t t = 0;
+  for (const auto& l : levels) t += l.size();
+  return t;
+}
+
+std::size_t Mfg::max_width() const {
+  std::size_t w = 0;
+  for (const auto& l : levels) w = std::max(w, l.size());
+  return w;
+}
+
+MfgId MfgForest::add(Mfg mfg) {
+  const MfgId id = static_cast<MfgId>(mfgs_.size());
+  for (const NodeId r : mfg.roots()) {
+    LBNN_CHECK(producer_.find(r) == producer_.end(), "node already has a producer MFG");
+    producer_[r] = id;
+  }
+  mfgs_.push_back(std::move(mfg));
+  alive_.push_back(true);
+  return id;
+}
+
+std::size_t MfgForest::num_alive() const {
+  std::size_t c = 0;
+  for (const bool a : alive_) c += a ? 1 : 0;
+  return c;
+}
+
+MfgId MfgForest::producer_of(NodeId node) const {
+  const auto it = producer_.find(node);
+  LBNN_CHECK(it != producer_.end(), "node has no producer MFG");
+  return it->second;
+}
+
+bool MfgForest::has_producer(NodeId node) const {
+  return producer_.find(node) != producer_.end();
+}
+
+std::vector<MfgId> MfgForest::children_of(MfgId id) const {
+  std::vector<MfgId> out;
+  for (const NodeId in : mfgs_[id].external_inputs) {
+    const MfgId c = producer_of(in);
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+MfgId MfgForest::merge(MfgId a, MfgId b) {
+  LBNN_CHECK(alive_[a] && alive_[b] && a != b, "merge of dead or identical MFGs");
+  Mfg& ma = mfgs_[a];
+  Mfg& mb = mfgs_[b];
+  LBNN_CHECK(ma.bottom == mb.bottom && ma.top == mb.top,
+             "merge requires aligned level ranges");
+  Mfg merged;
+  merged.bottom = ma.bottom;
+  merged.top = ma.top;
+  merged.levels.resize(ma.levels.size());
+  for (std::size_t i = 0; i < ma.levels.size(); ++i) {
+    auto& lv = merged.levels[i];
+    lv.reserve(ma.levels[i].size() + mb.levels[i].size());
+    std::set_union(ma.levels[i].begin(), ma.levels[i].end(), mb.levels[i].begin(),
+                   mb.levels[i].end(), std::back_inserter(lv));
+  }
+  std::set_union(ma.external_inputs.begin(), ma.external_inputs.end(),
+                 mb.external_inputs.begin(), mb.external_inputs.end(),
+                 std::back_inserter(merged.external_inputs));
+
+  const MfgId id = static_cast<MfgId>(mfgs_.size());
+  for (const NodeId r : merged.roots()) producer_[r] = id;
+  mfgs_.push_back(std::move(merged));
+  alive_.push_back(true);
+  alive_[a] = false;
+  alive_[b] = false;
+  return id;
+}
+
+std::vector<MfgId> MfgForest::alive_ids() const {
+  std::vector<MfgId> out;
+  for (MfgId i = 0; i < mfgs_.size(); ++i) {
+    if (alive_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+void MfgForest::check_invariants(std::size_t m) const {
+  const Netlist& nl = *nl_;
+  std::vector<bool> covered(nl.num_nodes(), false);
+  for (const MfgId id : alive_ids()) {
+    const Mfg& g = mfgs_[id];
+    if (g.levels.empty()) throw Error("MFG with no levels");
+    if (g.top - g.bottom + 1 != static_cast<Level>(g.levels.size())) {
+      throw Error("MFG level range inconsistent");
+    }
+    std::unordered_set<NodeId> members;
+    for (std::size_t i = 0; i < g.levels.size(); ++i) {
+      // Condition (2): at most m nodes per level.
+      if (g.levels[i].size() > m) throw Error("MFG level wider than m");
+      if (g.levels[i].empty()) throw Error("MFG has an empty level");
+      for (const NodeId x : g.levels[i]) {
+        if (node_level_[x] != g.bottom + static_cast<Level>(i)) {
+          throw Error("MFG node stored at wrong level");
+        }
+        members.insert(x);
+        covered[x] = true;
+      }
+    }
+    // Condition (1): fanins of all non-bottom levels are inside the MFG.
+    for (std::size_t i = 1; i < g.levels.size(); ++i) {
+      for (const NodeId x : g.levels[i]) {
+        for (int k = 0; k < nl.arity(x); ++k) {
+          const NodeId f = k == 0 ? nl.fanin0(x) : nl.fanin1(x);
+          if (members.find(f) == members.end()) {
+            throw Error("MFG closure violated above the bottom level");
+          }
+        }
+      }
+    }
+    // external_inputs = exact fanin set of the bottom level, outside the MFG.
+    std::unordered_set<NodeId> ext(g.external_inputs.begin(), g.external_inputs.end());
+    std::unordered_set<NodeId> want;
+    for (const NodeId x : g.levels[0]) {
+      for (int k = 0; k < nl.arity(x); ++k) {
+        const NodeId f = k == 0 ? nl.fanin0(x) : nl.fanin1(x);
+        want.insert(f);
+      }
+    }
+    if (g.bottom == 0) {
+      if (!want.empty() || !ext.empty()) throw Error("bottom-0 MFG must have no external inputs");
+    } else {
+      if (want != ext) throw Error("external_inputs mismatch");
+      for (const NodeId f : g.external_inputs) {
+        if (!has_producer(f)) throw Error("external input without a producer");
+      }
+    }
+  }
+  // Coverage: every node reachable from an output is inside some MFG.
+  std::vector<bool> live(nl.num_nodes(), false);
+  for (const NodeId o : nl.outputs()) live[o] = true;
+  for (NodeId id = static_cast<NodeId>(nl.num_nodes()); id-- > 0;) {
+    if (!live[id]) continue;
+    if (nl.arity(id) >= 1) live[nl.fanin0(id)] = true;
+    if (nl.arity(id) == 2) live[nl.fanin1(id)] = true;
+  }
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (live[id] && !covered[id]) throw Error("live node not covered by any MFG");
+  }
+}
+
+Mfg find_mfg(const Netlist& nl, const std::vector<Level>& levels, NodeId root,
+             const PartitionOptions& opt) {
+  LBNN_CHECK(opt.m >= 1, "m must be positive");
+  const Level root_level = levels[root];
+  const Level band_start =
+      opt.band == 0 ? 0
+                    : static_cast<Level>((static_cast<std::size_t>(root_level) /
+                                          opt.band) * opt.band);
+
+  // Descend whole levels at a time (the netlist is path balanced, so all
+  // fanins of level-l nodes sit exactly at l-1; this makes the BFS of
+  // Algorithm 2 equivalent to a per-level frontier sweep).
+  std::vector<std::vector<NodeId>> collected;  // top level first
+  std::vector<NodeId> frontier{root};
+  Level cur = root_level;
+  std::vector<NodeId> external;
+
+  for (;;) {
+    collected.push_back(frontier);
+    // Gather the distinct fanins of the frontier (level cur-1).
+    std::vector<NodeId> next;
+    {
+      std::unordered_set<NodeId> seen;
+      for (const NodeId x : frontier) {
+        for (int k = 0; k < nl.arity(x); ++k) {
+          const NodeId f = k == 0 ? nl.fanin0(x) : nl.fanin1(x);
+          if (seen.insert(f).second) next.push_back(f);
+        }
+      }
+    }
+    if (next.empty()) {
+      // Reached nodes with no fanins (primary inputs / constants): bottom.
+      break;
+    }
+    if (cur == band_start) {
+      // Depth-issue cut (Sec. V.C): never cross a band boundary; the inputs
+      // arrive through the feedback path.
+      external = std::move(next);
+      break;
+    }
+    if (next.size() >= opt.m) {
+      // Algorithm 2 stop level: the next level cannot be a member level.
+      external = std::move(next);
+      break;
+    }
+    frontier = std::move(next);
+    --cur;
+  }
+
+  Mfg g;
+  g.top = root_level;
+  g.bottom = cur;
+  g.levels.assign(collected.rbegin(), collected.rend());
+  for (auto& lv : g.levels) std::sort(lv.begin(), lv.end());
+  std::sort(external.begin(), external.end());
+  g.external_inputs = std::move(external);
+  return g;
+}
+
+MfgForest partition(const Netlist& nl, const PartitionOptions& opt) {
+  LBNN_CHECK(is_path_balanced(nl), "partition() requires a path-balanced netlist");
+  MfgForest forest(nl, nl.levels());
+
+  std::deque<NodeId> queue;
+  std::unordered_set<NodeId> enqueued;
+  for (const NodeId o : nl.outputs()) {
+    if (enqueued.insert(o).second) queue.push_back(o);
+  }
+  while (!queue.empty()) {
+    const NodeId root = queue.front();
+    queue.pop_front();
+    if (forest.has_producer(root)) continue;  // already extracted (shared input)
+    Mfg g = find_mfg(nl, forest.node_levels(), root, opt);
+    const std::vector<NodeId> ext = g.external_inputs;
+    forest.add(std::move(g));
+    for (const NodeId in : ext) {
+      if (enqueued.insert(in).second) queue.push_back(in);
+    }
+  }
+  return forest;
+}
+
+std::size_t merge_mfgs(MfgForest& forest, std::size_t m) {
+  // Greedy pass in the spirit of Algorithm 3: repeatedly take the children of
+  // each alive MFG, group them by bottom level, and merge pairs whose
+  // per-level union stays within m. Merged MFGs re-enter the queue so chains
+  // of merges happen (Fig. 3).
+  const auto can_merge = [&](MfgId a, MfgId b) {
+    const Mfg& ma = forest.at(a);
+    const Mfg& mb = forest.at(b);
+    if (ma.bottom != mb.bottom || ma.top != mb.top) return false;
+    for (std::size_t i = 0; i < ma.levels.size(); ++i) {
+      // |union| = |A| + |B| - |intersection| ; level vectors are sorted.
+      std::size_t inter = 0;
+      std::size_t ai = 0, bi = 0;
+      while (ai < ma.levels[i].size() && bi < mb.levels[i].size()) {
+        if (ma.levels[i][ai] < mb.levels[i][bi]) ++ai;
+        else if (ma.levels[i][ai] > mb.levels[i][bi]) ++bi;
+        else { ++inter; ++ai; ++bi; }
+      }
+      if (ma.levels[i].size() + mb.levels[i].size() - inter > m) return false;
+    }
+    return true;
+  };
+
+  // Pairwise greedy merging within a sibling group.
+  std::size_t merges = 0;
+  const auto merge_group = [&](std::vector<MfgId> group) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (!forest.alive(group[i])) continue;
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        if (!forest.alive(group[j])) continue;
+        if (!can_merge(group[i], group[j])) continue;
+        const MfgId merged = forest.merge(group[i], group[j]);
+        group[i] = merged;
+        group[j] = group.back();
+        group.pop_back();
+        --j;
+        ++merges;
+      }
+    }
+  };
+
+  bool changed = true;
+  while (changed) {
+    const std::size_t before = merges;
+    // Root MFGs (the PO cones) have no parent; Algorithm 3's root MFG
+    // "contain[s] PO(s)", i.e. they form one sibling group themselves.
+    std::unordered_set<MfgId> has_parent;
+    for (const MfgId id : forest.alive_ids()) {
+      for (const MfgId c : forest.children_of(id)) has_parent.insert(c);
+    }
+    std::vector<MfgId> roots;
+    for (const MfgId id : forest.alive_ids()) {
+      if (has_parent.count(id) == 0) roots.push_back(id);
+    }
+    merge_group(std::move(roots));
+
+    for (const MfgId parent : forest.alive_ids()) {
+      if (!forest.alive(parent)) continue;
+      merge_group(forest.children_of(parent));
+    }
+    changed = merges != before;
+  }
+  return merges;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// A maximal feasible subgraph (Sec. II / V.A): the contiguous levels
+/// [bottom, top] of a cone of the path-balanced network, at most m nodes per
+/// level, closed under fanin except at the bottom level.
+///
+/// All nodes of the top level are the MFG's roots (outputs, delivered to
+/// parent MFGs or to the output buffer); external_inputs are the level
+/// bottom-1 nodes outside the MFG that feed its bottom level (empty when
+/// bottom is 0 — those MFGs load primary inputs from the input data buffer).
+struct Mfg {
+  Level bottom = 0;
+  Level top = 0;
+  /// levels[i] = sorted node ids at level bottom + i.
+  std::vector<std::vector<NodeId>> levels;
+  /// Distinct level bottom-1 nodes feeding the bottom level (empty if bottom==0).
+  std::vector<NodeId> external_inputs;
+
+  const std::vector<NodeId>& roots() const { return levels.back(); }
+  std::size_t num_levels() const { return levels.size(); }
+  std::size_t num_nodes() const;
+  /// Max level population (must be <= m).
+  std::size_t max_width() const;
+};
+
+/// Options for partition(). `band` enables the depth-issue handling of Sec.
+/// V.C: when band > 0, no MFG may span a multiple-of-band level boundary, so
+/// every MFG maps onto one pass through a band-many-LPV LPU and cross-band
+/// values travel through the output-buffer feedback path. band == 0 means
+/// unbounded (LPU at least as deep as the network).
+struct PartitionOptions {
+  std::size_t m = 16;
+  std::size_t band = 0;
+};
+
+/// The partitioning of a network into MFGs plus the producer relation.
+class MfgForest {
+ public:
+  MfgForest(const Netlist& nl, std::vector<Level> levels)
+      : nl_(&nl), node_level_(std::move(levels)) {}
+
+  const Netlist& netlist() const { return *nl_; }
+  Level node_level(NodeId n) const { return node_level_[n]; }
+  const std::vector<Level>& node_levels() const { return node_level_; }
+
+  MfgId add(Mfg mfg);
+
+  std::size_t size() const { return mfgs_.size(); }
+  std::size_t num_alive() const;
+  const Mfg& at(MfgId id) const { return mfgs_[id]; }
+  bool alive(MfgId id) const { return alive_[id]; }
+
+  /// MFG whose roots contain `node` (every non-PI... every node consumed
+  /// across MFG boundaries has exactly one producer).
+  MfgId producer_of(NodeId node) const;
+  bool has_producer(NodeId node) const;
+
+  /// Child MFGs (producers of external inputs), deduplicated, of `id`.
+  std::vector<MfgId> children_of(MfgId id) const;
+
+  /// Replace MFGs a and b with their union. Caller must have verified the
+  /// merge is legal (same bottom/top, per-level unions within m).
+  MfgId merge(MfgId a, MfgId b);
+
+  /// Ids of alive MFGs.
+  std::vector<MfgId> alive_ids() const;
+
+  /// Invariant checks for tests: conditions (1) and (2) of Sec. V.A,
+  /// producer consistency, and full coverage of the network. Condition (4)
+  /// holds only pre-merge and away from band cuts; tests check it there.
+  void check_invariants(std::size_t m) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<Level> node_level_;
+  std::vector<Mfg> mfgs_;
+  std::vector<bool> alive_;
+  std::unordered_map<NodeId, MfgId> producer_;
+};
+
+/// Algorithm 2: the MFG rooted at `roots` (single node for Alg. 1; the
+/// merged form passes several). Descends by whole levels; stops below a
+/// level that would exceed m nodes, at a band boundary, or at the primary
+/// inputs.
+Mfg find_mfg(const Netlist& nl, const std::vector<Level>& levels, NodeId root,
+             const PartitionOptions& opt);
+
+/// Algorithm 1 generalized to multi-output networks: BFS from all primary
+/// outputs, extracting one MFG per needed root. `nl` must be path-balanced.
+MfgForest partition(const Netlist& nl, const PartitionOptions& opt);
+
+/// Algorithm 3: greedily merge same-parent child MFGs with equal bottom
+/// levels while every level union stays within m. Returns the number of
+/// merges performed.
+std::size_t merge_mfgs(MfgForest& forest, std::size_t m);
+
+}  // namespace lbnn

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/lpu_config.hpp"
+#include "logic/truth_table4.hpp"
+
+namespace lbnn {
+
+/// Where an LPE input (snapshot) register takes its next value from.
+///
+/// Every (LPV, memLoc) instruction carries a sparse set of route writes; any
+/// register slot not written HOLDS its value — that hold is exactly the
+/// "snapshot for a certain data lifecycle" of Sec. IV, and a write at the
+/// producer's wavefront followed by holds until the consumer's wavefront is
+/// how parked MFG outputs live in the snapshot registers.
+struct SrcSel {
+  enum class Kind : std::uint8_t {
+    kPrevLane,  ///< output `index` of the previous LPV, through the switch
+    kInput,     ///< input data buffer word `index` (LPV 0, Lbottom = 0 MFGs)
+    kFeedback,  ///< feedback region of the output data buffer (circulation)
+  };
+  Kind kind = Kind::kPrevLane;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const SrcSel&, const SrcSel&) = default;
+};
+
+/// One route write: register slot <- src. Slots are numbered lane*2 + (0 for
+/// operand A, 1 for operand B); an LPV with m LPEs has 2m slots, matching the
+/// switch network's 2m destinations.
+struct RouteWrite {
+  std::uint16_t slot = 0;
+  SrcSel src;
+};
+
+/// One LPE activation: lane executes the 4-bit LUT over its two snapshot
+/// registers this wavefront. Lanes without a ComputeWrite produce no valid
+/// output (the "instruction that invalidates output" of Fig. 6).
+struct ComputeWrite {
+  Lane lane = 0;
+  TruthTable4 lut;
+};
+
+/// Instruction of one LPV at one memLoc (queue address).
+struct LpvInstr {
+  std::vector<RouteWrite> routes;
+  std::vector<ComputeWrite> computes;
+  /// Lanes of this LPV whose outputs are written to the feedback region of
+  /// the output buffer this wavefront (only ever set on the last LPV).
+  std::vector<Lane> feedback_writes;
+
+  bool empty() const {
+    return routes.empty() && computes.empty() && feedback_writes.empty();
+  }
+};
+
+/// A primary output is captured from `lane` of the last LPV when memLoc
+/// `wavefront` drains.
+struct OutputTap {
+  std::uint32_t wavefront = 0;
+  Lane lane = 0;
+  std::uint32_t po_index = 0;
+};
+
+/// A compiled LPU program: the contents of the instruction queues (Fig. 6),
+/// the input data buffer layout, and the output taps.
+struct Program {
+  LpuConfig cfg;
+  std::uint32_t num_wavefronts = 0;
+  /// instr[memLoc][lpv]; memLocs are issued 0,1,2,... by the read-address
+  /// incrementor and travel down the LPV chain via the shift register.
+  std::vector<std::vector<LpvInstr>> instr;
+  /// input_layout[addr] = primary-input index stored at that buffer address.
+  std::vector<std::uint32_t> input_layout;
+  std::vector<OutputTap> output_taps;
+  std::uint32_t num_primary_inputs = 0;
+  std::uint32_t num_primary_outputs = 0;
+
+  /// Latency of one batch in macro (compute) cycles: the last memLoc must
+  /// drain through all n LPVs.
+  std::uint64_t macro_cycles() const { return num_wavefronts + cfg.n - 1; }
+  /// Latency in clock cycles (each macro cycle costs tc = 1 + tsw clocks).
+  std::uint64_t clock_cycles() const { return macro_cycles() * cfg.tc(); }
+  /// Steady-state initiation interval in clock cycles: a new batch of
+  /// word_width samples can be issued every num_wavefronts macro cycles.
+  std::uint64_t steady_state_interval_cycles() const {
+    return static_cast<std::uint64_t>(num_wavefronts) * cfg.tc();
+  }
+  /// Steady-state throughput in samples (bit lanes) per second.
+  double samples_per_second() const;
+
+  /// Counts of route/compute micro-operations (for reports and resources).
+  std::uint64_t total_routes() const;
+  std::uint64_t total_computes() const;
+
+  /// Structural sanity checks (slot/lane ranges, tap ranges, ...).
+  void validate() const;
+
+  /// Human-readable dump (disassembly) of the first `max_wavefronts` memLocs.
+  void disassemble(std::ostream& os, std::uint32_t max_wavefronts = 16) const;
+};
+
+}  // namespace lbnn

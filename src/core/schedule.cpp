@@ -1,0 +1,272 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn {
+namespace {
+
+/// Greedy interval allocator over (LPV, lane). Intervals arrive in
+/// nondecreasing end order, so a lane conflicts with a new interval [s, e]
+/// iff its maximum end so far is >= s. Parked (multi-wavefront) values take
+/// lanes from the top, transients from the bottom, which keeps long-lived
+/// snapshots out of the way of passing traffic.
+class LaneAllocator {
+ public:
+  LaneAllocator(std::uint32_t n, std::uint32_t m)
+      : m_(m), max_end_(static_cast<std::size_t>(n) * m, -1) {}
+
+  Lane allocate(std::uint32_t lpv, std::int64_t start, std::int64_t end,
+                bool parked) {
+    const std::size_t base = static_cast<std::size_t>(lpv) * m_;
+    if (parked) {
+      for (std::uint32_t l = m_; l-- > 0;) {
+        if (max_end_[base + l] < start) {
+          max_end_[base + l] = end;
+          return static_cast<Lane>(l);
+        }
+      }
+    } else {
+      for (std::uint32_t l = 0; l < m_; ++l) {
+        if (max_end_[base + l] < start) {
+          max_end_[base + l] = end;
+          return static_cast<Lane>(l);
+        }
+      }
+    }
+    return kInvalidLane;
+  }
+
+ private:
+  std::uint32_t m_;
+  std::vector<std::int64_t> max_end_;
+};
+
+struct BandPlan {
+  /// Instance indices in execution order, grouped into chains.
+  std::vector<std::vector<std::uint32_t>> waves;
+};
+
+}  // namespace
+
+Schedule build_schedule(const MfgForest& forest, const LpuConfig& cfg,
+                        SharingMode mode, std::size_t max_instances) {
+  const std::uint32_t n = cfg.n;
+  const Netlist& nl = forest.netlist();
+  const std::vector<MfgId> alive = forest.alive_ids();
+
+  Schedule sched;
+
+  // ---- group MFGs by band (circulation pass) -------------------------------
+  std::map<std::uint32_t, std::vector<MfgId>> bands;
+  for (const MfgId id : alive) {
+    const std::uint32_t band = static_cast<std::uint32_t>(forest.at(id).bottom) / n;
+    LBNN_CHECK(static_cast<std::uint32_t>(forest.at(id).top) / n == band,
+               "MFG spans a band boundary; partition with band == n");
+    bands[band].push_back(id);
+  }
+
+  // ---- per band: build the instance forest and the chain order -------------
+  // Band roots (MFGs without an in-band parent) get exactly one instance; in
+  // kTree mode every in-band child edge creates a fresh instance, in kShared
+  // mode children are instantiated once and shared.
+  for (auto& [band, members] : bands) {
+    std::unordered_set<MfgId> in_band(members.begin(), members.end());
+    std::unordered_set<MfgId> has_in_band_parent;
+    for (const MfgId id : members) {
+      for (const MfgId c : forest.children_of(id)) {
+        if (in_band.count(c) != 0) has_in_band_parent.insert(c);
+      }
+    }
+    std::vector<MfgId> roots;
+    for (const MfgId id : members) {
+      if (has_in_band_parent.count(id) == 0) roots.push_back(id);
+    }
+    LBNN_CHECK(!roots.empty(), "band without a root MFG");
+
+    // Post-order DFS over instances. kShared memoizes child instances.
+    std::unordered_map<MfgId, std::uint32_t> shared_instance;
+    std::vector<std::uint32_t> order;  // instance indices in execution order
+
+    struct Frame {
+      std::uint32_t inst;
+      std::vector<MfgId> kids;  // in-band children still to visit
+      std::size_t next = 0;
+    };
+
+    const auto make_instance = [&](MfgId id) -> std::uint32_t {
+      if (sched.instances.size() >= max_instances) {
+        throw CompileError("instance budget exceeded while duplicating shared "
+                           "MFGs; fall back to a narrower partition");
+      }
+      MfgInstance inst;
+      inst.mfg = id;
+      sched.instances.push_back(std::move(inst));
+      return static_cast<std::uint32_t>(sched.instances.size() - 1);
+    };
+
+    const auto in_band_children = [&](MfgId id) {
+      std::vector<MfgId> kids;
+      for (const MfgId c : forest.children_of(id)) {
+        if (in_band.count(c) != 0) kids.push_back(c);
+      }
+      return kids;
+    };
+
+    for (const MfgId r : roots) {
+      const std::uint32_t root_inst = make_instance(r);
+      sched.band_root_instance.emplace(r, root_inst);
+      std::vector<Frame> stack;
+      stack.push_back({root_inst, in_band_children(r), 0});
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        if (f.next < f.kids.size()) {
+          const MfgId c = f.kids[f.next++];
+          std::uint32_t child_inst = kInvalidMfg;
+          bool fresh = true;
+          if (mode == SharingMode::kShared) {
+            const auto it = shared_instance.find(c);
+            if (it != shared_instance.end()) {
+              child_inst = it->second;
+              fresh = false;
+            }
+          }
+          if (fresh) {
+            child_inst = make_instance(c);
+            if (mode == SharingMode::kShared) shared_instance.emplace(c, child_inst);
+          }
+          // Bind this parent's external inputs produced by c to child_inst.
+          MfgInstance& parent = sched.instances[f.inst];
+          for (const NodeId in : forest.at(parent.mfg).external_inputs) {
+            if (forest.producer_of(in) == c) parent.producer_instance[in] = child_inst;
+          }
+          if (fresh) {
+            stack.push_back({child_inst, in_band_children(c), 0});
+          }
+          continue;
+        }
+        order.push_back(f.inst);
+        stack.pop_back();
+      }
+    }
+    // Chain assignment: an instance joins the current wavefront iff the
+    // previous instance on it is one of its bound child instances (the
+    // paper's most-recent-child memLoc sharing).
+    std::vector<std::vector<std::uint32_t>> band_waves;
+    for (const std::uint32_t inst : order) {
+      bool chained = false;
+      if (!band_waves.empty()) {
+        const std::uint32_t prev = band_waves.back().back();
+        for (const auto& [node, pinst] : sched.instances[inst].producer_instance) {
+          if (pinst == prev) {
+            chained = true;
+            break;
+          }
+        }
+      }
+      if (chained) {
+        band_waves.back().push_back(inst);
+        ++sched.stats.chained_mfgs;
+      } else {
+        band_waves.push_back({inst});
+      }
+    }
+
+    // Base memLoc of this band: respect feedback timing. A value produced on
+    // memLoc w leaves the last LPV at macro time w + n - 1 and can be read at
+    // LPV 0 on memLoc w' only if w' > w + n - 1.
+    std::uint32_t base = static_cast<std::uint32_t>(sched.wavefronts.size());
+    if (band > 0) {
+      std::int64_t min_base = base;
+      for (std::size_t off = 0; off < band_waves.size(); ++off) {
+        for (const std::uint32_t inst : band_waves[off]) {
+          const Mfg& g = forest.at(sched.instances[inst].mfg);
+          if (static_cast<std::uint32_t>(g.bottom) % n != 0) continue;
+          for (const NodeId y : g.external_inputs) {
+            const auto it = sched.band_root_instance.find(forest.producer_of(y));
+            LBNN_CHECK(it != sched.band_root_instance.end(),
+                       "cross-band producer is not a band root");
+            const std::uint32_t wp = sched.instances[it->second].wavefront;
+            // need base + off > wp + n - 1
+            min_base = std::max<std::int64_t>(
+                min_base,
+                static_cast<std::int64_t>(wp) + n - static_cast<std::int64_t>(off));
+          }
+        }
+      }
+      const std::uint32_t padded = static_cast<std::uint32_t>(min_base);
+      sched.stats.bubbles += padded - base;
+      while (sched.wavefronts.size() < padded) sched.wavefronts.emplace_back();
+      base = padded;
+    }
+    for (std::size_t off = 0; off < band_waves.size(); ++off) {
+      for (const std::uint32_t inst : band_waves[off]) {
+        sched.instances[inst].wavefront = base + static_cast<std::uint32_t>(off);
+      }
+      sched.wavefronts.push_back(std::move(band_waves[off]));
+    }
+    ++sched.stats.bands;
+  }
+
+  // ---- snapshot-lane allocation --------------------------------------------
+  LaneAllocator alloc(n, cfg.m);
+  for (const auto& wave : sched.wavefronts) {
+    for (const std::uint32_t ii : wave) {
+      MfgInstance& inst = sched.instances[ii];
+      const Mfg& g = forest.at(inst.mfg);
+      const std::uint32_t w = inst.wavefront;
+      const std::uint32_t band = static_cast<std::uint32_t>(g.bottom) / n;
+      inst.lanes.lanes.resize(g.levels.size());
+      for (std::size_t i = 0; i < g.levels.size(); ++i) {
+        const std::uint32_t lpv =
+            static_cast<std::uint32_t>(g.bottom) + static_cast<std::uint32_t>(i) -
+            band * n;
+        // The bottom level of an in-band parent parks from its earliest
+        // operand delivery until its own wavefront; everything else is
+        // transient. Feedback-fed bottoms (level ≡ 0 mod n of band > 0) and
+        // PI-load bottoms (level 0) read buffers per-wavefront instead.
+        const bool parked_level =
+            i == 0 && g.bottom > 0 && static_cast<std::uint32_t>(g.bottom) % n != 0;
+        inst.lanes.lanes[i].resize(g.levels[i].size());
+        for (std::size_t k = 0; k < g.levels[i].size(); ++k) {
+          const NodeId x = g.levels[i][k];
+          std::int64_t start = w;
+          if (parked_level) {
+            for (int f = 0; f < nl.arity(x); ++f) {
+              const NodeId y = f == 0 ? nl.fanin0(x) : nl.fanin1(x);
+              const auto it = inst.producer_instance.find(y);
+              LBNN_CHECK(it != inst.producer_instance.end(),
+                         "unbound producer for a parked operand");
+              start = std::min<std::int64_t>(
+                  start, sched.instances[it->second].wavefront);
+            }
+          }
+          const Lane lane = alloc.allocate(lpv, start, w, parked_level);
+          if (lane == kInvalidLane) {
+            throw CompileError(
+                "snapshot-lane allocation failed at LPV " + std::to_string(lpv) +
+                " wavefront " + std::to_string(w) +
+                "; retry with duplication or width headroom");
+          }
+          inst.lanes.lanes[i][k] = lane;
+        }
+      }
+    }
+  }
+
+  sched.stats.wavefronts = static_cast<std::uint32_t>(sched.wavefronts.size());
+  sched.stats.instances = static_cast<std::uint32_t>(sched.instances.size());
+  {
+    std::unordered_set<MfgId> distinct;
+    for (const auto& inst : sched.instances) distinct.insert(inst.mfg);
+    sched.stats.duplicates =
+        sched.stats.instances - static_cast<std::uint32_t>(distinct.size());
+  }
+  return sched;
+}
+
+}  // namespace lbnn

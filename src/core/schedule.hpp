@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/lpu_config.hpp"
+#include "core/mfg.hpp"
+
+namespace lbnn {
+
+/// Per-instance lane assignment: lanes[i][k] is the LPE lane executing
+/// Mfg::levels[i][k] of the instance's MFG.
+struct LaneMap {
+  std::vector<std::vector<Lane>> lanes;
+};
+
+/// One scheduled execution of an MFG. MFGs shared by several in-band parents
+/// may be instantiated once per parent (SharingMode::kTree) — recomputation
+/// instead of long-lived snapshot parking; the paper's condition (3)
+/// explicitly allows overlapping/duplicated node sets.
+struct MfgInstance {
+  MfgId mfg = kInvalidMfg;
+  std::uint32_t wavefront = 0;
+  LaneMap lanes;
+  /// For each external input node of the MFG (in-band only): the instance
+  /// that produces it. Cross-band inputs resolve through band-root instances.
+  std::unordered_map<NodeId, std::uint32_t> producer_instance;
+};
+
+/// How shared child MFGs are scheduled.
+enum class SharingMode {
+  /// One instance per MFG; outputs park in the consumer's snapshot lanes
+  /// until every parent has fired. Minimal compute, but parking pressure can
+  /// exhaust the m lanes of an LPV (throws CompileError).
+  kShared,
+  /// One instance per in-band consumer edge. Within a band the instance
+  /// graph is a forest, all parked live ranges nest, and per-LPV lane demand
+  /// provably never exceeds the MFG width bound, so allocation cannot fail.
+  kTree,
+};
+
+struct ScheduleStats {
+  std::uint32_t wavefronts = 0;    ///< total memLocs, including bubbles
+  std::uint32_t bubbles = 0;       ///< NOP memLocs inserted for feedback timing
+  std::uint32_t bands = 0;         ///< circulation passes (1 = no depth issue)
+  std::uint32_t chained_mfgs = 0;  ///< instances sharing a memLoc with a child
+  std::uint32_t instances = 0;     ///< scheduled MFG instances
+  std::uint32_t duplicates = 0;    ///< instances beyond one-per-MFG
+};
+
+/// The static schedule: MFG instances bound to memLocs (wavefronts), chains
+/// (the paper's "most recent child" memLoc sharing, Alg. 4 / Fig. 5), and the
+/// lane of every node instance.
+struct Schedule {
+  std::vector<MfgInstance> instances;
+  /// wavefronts[w] = instance indices on memLoc w, bottom-up; empty = bubble.
+  std::vector<std::vector<std::uint32_t>> wavefronts;
+  /// Band-root instance of each MFG that terminates a band (feeds feedback or
+  /// primary outputs); these MFGs are never duplicated.
+  std::unordered_map<MfgId, std::uint32_t> band_root_instance;
+  ScheduleStats stats;
+};
+
+/// Build the schedule for a partitioned (and possibly merged) forest on the
+/// given LPU. The forest must have been partitioned with band == cfg.n.
+/// `max_instances` bounds kTree duplication blow-up (throws CompileError when
+/// exceeded; the compiler falls back to narrower partitions).
+Schedule build_schedule(const MfgForest& forest, const LpuConfig& cfg,
+                        SharingMode mode, std::size_t max_instances = 1u << 20);
+
+}  // namespace lbnn

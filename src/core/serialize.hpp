@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/program.hpp"
+
+namespace lbnn {
+
+/// Program serialization — the "configuration file" output of the flow
+/// (Fig. 1). The format is a line-oriented text format:
+///
+///   lpu <m> <n> <tsw> <word_width> <clock_mhz>
+///   wavefronts <W> pis <P> pos <O>
+///   layout <addr> <pi>
+///   route <memLoc> <lpv> <slot> prev|in|fb <index>
+///   lpe <memLoc> <lpv> <lane> <lut>
+///   fbw <memLoc> <lane>
+///   tap <memLoc> <lane> <po>
+///   end
+///
+/// write_program/read_program round-trip exactly (tested); read_program
+/// validates and throws lbnn::Error on malformed input.
+void write_program(std::ostream& os, const Program& prog);
+Program read_program(std::istream& is);
+
+std::string program_to_string(const Program& prog);
+Program program_from_string(const std::string& text);
+
+/// Emit the per-LPV instruction queue images as $readmemh-style hex words
+/// (one file body per LPV, concatenated with headers) plus a structural
+/// Verilog testbench skeleton that streams the input buffer and checks the
+/// output taps — the "HDL testbench" box of Fig. 1. The hex encoding packs
+/// each (route slot, source) and (lane, lut) micro-op into one 32-bit word;
+/// a real Chisel backend would consume the same stream.
+std::string emit_hex_images(const Program& prog);
+std::string emit_testbench(const Program& prog, const std::string& module_name);
+
+}  // namespace lbnn

@@ -1,0 +1,153 @@
+#include "interconnect/benes.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn::interconnect {
+
+BenesNetwork::BenesNetwork(std::uint32_t ports) : ports_(ports) {
+  if (ports < 2 || (ports & (ports - 1)) != 0) {
+    throw Error("Benes network needs a power-of-two port count >= 2");
+  }
+  log2_ = static_cast<std::uint32_t>(std::countr_zero(ports));
+}
+
+BenesNetwork::Config BenesNetwork::route(
+    const std::vector<std::int32_t>& dest_of) const {
+  LBNN_CHECK(dest_of.size() == ports_, "wrong permutation size");
+  // Complete the partial permutation: idle inputs get the unused outputs.
+  std::vector<std::int32_t> perm(dest_of);
+  std::vector<bool> used(ports_, false);
+  for (const std::int32_t d : perm) {
+    if (d < 0) continue;
+    if (d >= static_cast<std::int32_t>(ports_) || used[static_cast<std::size_t>(d)]) {
+      throw Error("invalid or duplicated destination in permutation");
+    }
+    used[static_cast<std::size_t>(d)] = true;
+  }
+  std::uint32_t next_free = 0;
+  for (auto& d : perm) {
+    if (d >= 0) continue;
+    while (used[next_free]) ++next_free;
+    d = static_cast<std::int32_t>(next_free);
+    used[next_free] = true;
+  }
+
+  Config cfg(num_stages(), std::vector<bool>(elements_per_stage(), false));
+  route_recursive(perm, 0, ports_, 0, cfg);
+  return cfg;
+}
+
+void BenesNetwork::route_recursive(std::vector<std::int32_t>& perm,
+                                   std::uint32_t lo, std::uint32_t size,
+                                   std::uint32_t stage, Config& cfg) const {
+  if (size == 2) {
+    // Single middle-stage element.
+    cfg[stage][lo / 2] = perm[0] == 1;
+    return;
+  }
+  const std::uint32_t half = size / 2;
+  const std::uint32_t out_stage = num_stages() - 1 - stage;
+
+  // Inverse of the local permutation.
+  std::vector<std::uint32_t> inv(size);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    inv[static_cast<std::uint32_t>(perm[i])] = i;
+  }
+
+  // Two-color the inputs (0 = routed through the upper subnetwork) with the
+  // looping algorithm: the two inputs of a first-stage element must take
+  // different subnetworks, and so must the two sources of a last-stage
+  // element.
+  std::vector<std::int8_t> color(size, -1);
+  for (std::uint32_t seed = 0; seed < size; ++seed) {
+    if (color[seed] != -1) continue;
+    std::uint32_t i = seed;
+    std::int8_t c = 0;
+    for (;;) {
+      color[i] = c;
+      // Output partner constraint: the source of the sibling output takes
+      // the other subnetwork.
+      const std::uint32_t o = static_cast<std::uint32_t>(perm[i]);
+      const std::uint32_t sib_src = inv[o ^ 1u];
+      if (color[sib_src] == -1) color[sib_src] = static_cast<std::int8_t>(1 - c);
+      // Input partner constraint continues the loop.
+      const std::uint32_t next = sib_src ^ 1u;
+      if (color[next] != -1) break;
+      c = static_cast<std::int8_t>(1 - color[sib_src]);
+      i = next;
+    }
+  }
+
+  // First/last stage element settings and the two inner permutations.
+  std::vector<std::int32_t> up(half), low(half);
+  for (std::uint32_t a = 0; a < half; ++a) {
+    const std::uint32_t i0 = 2 * a;
+    LBNN_CHECK(color[i0] + color[i0 + 1] == 1, "looping produced a bad coloring");
+    // Element is crossed when its even input goes to the lower subnetwork.
+    cfg[stage][lo / 2 + a] = color[i0] == 1;
+    const std::uint32_t up_in = color[i0] == 0 ? i0 : i0 + 1;
+    up[a] = perm[up_in] / 2;
+    low[a] = perm[up_in ^ 1u] / 2;
+  }
+  for (std::uint32_t b = 0; b < half; ++b) {
+    const std::uint32_t src_even = inv[2 * b];
+    // Element is crossed when output 2b is served by the lower subnetwork.
+    cfg[out_stage][lo / 2 + b] = color[src_even] == 1;
+  }
+
+  route_recursive(up, lo, half, stage + 1, cfg);
+  route_recursive(low, lo + half, half, stage + 1, cfg);
+}
+
+std::vector<std::uint32_t> BenesNetwork::apply(
+    const Config& cfg, const std::vector<std::uint32_t>& in) const {
+  LBNN_CHECK(in.size() == ports_, "wrong input size");
+  LBNN_CHECK(cfg.size() == num_stages(), "wrong config size");
+
+  // Recursive propagation mirroring the construction.
+  std::vector<std::uint32_t> values(in);
+
+  struct Rec {
+    const BenesNetwork* net;
+    const Config* cfg;
+    std::vector<std::uint32_t>* values;
+    void operator()(std::uint32_t lo, std::uint32_t size, std::uint32_t stage) const {
+      auto& v = *values;
+      if (size == 2) {
+        if ((*cfg)[stage][lo / 2]) std::swap(v[lo], v[lo + 1]);
+        return;
+      }
+      const std::uint32_t half = size / 2;
+      const std::uint32_t out_stage = net->num_stages() - 1 - stage;
+      // First stage: element a maps (lo+2a, lo+2a+1) -> (upper a, lower a).
+      std::vector<std::uint32_t> tmp(size);
+      for (std::uint32_t a = 0; a < half; ++a) {
+        const bool crossed = (*cfg)[stage][lo / 2 + a];
+        const std::uint32_t e = v[lo + 2 * a];
+        const std::uint32_t o = v[lo + 2 * a + 1];
+        tmp[a] = crossed ? o : e;
+        tmp[half + a] = crossed ? e : o;
+      }
+      for (std::uint32_t i = 0; i < size; ++i) v[lo + i] = tmp[i];
+      (*this)(lo, half, stage + 1);
+      (*this)(lo + half, half, stage + 1);
+      // Last stage: element b maps (upper b, lower b) -> (lo+2b, lo+2b+1).
+      for (std::uint32_t b = 0; b < half; ++b) {
+        const std::uint32_t u = v[lo + b];
+        const std::uint32_t l = v[lo + half + b];
+        const bool crossed = (*cfg)[out_stage][lo / 2 + b];
+        tmp[2 * b] = crossed ? l : u;
+        tmp[2 * b + 1] = crossed ? u : l;
+      }
+      for (std::uint32_t i = 0; i < size; ++i) v[lo + i] = tmp[i];
+    }
+  };
+  Rec rec{this, &cfg, &values};
+  rec(0, ports_, 0);
+  return values;
+}
+
+}  // namespace lbnn::interconnect

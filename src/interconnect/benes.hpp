@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbnn::interconnect {
+
+/// A Beneš rearrangeably non-blocking permutation network over N = 2^k ports
+/// with 2k-1 stages of N/2 2x2 crossbar elements, routed with the classic
+/// looping algorithm. This is the permutation half of the multicast switch
+/// construction (Sec. IV cites Yang & Masson's non-blocking broadcast
+/// networks [20]; copy-then-permute is their standard decomposition).
+class BenesNetwork {
+ public:
+  /// `ports` must be a power of two >= 2.
+  explicit BenesNetwork(std::uint32_t ports);
+
+  std::uint32_t ports() const { return ports_; }
+  std::uint32_t num_stages() const { return 2 * log2_ - 1; }
+  std::uint32_t elements_per_stage() const { return ports_ / 2; }
+  std::uint64_t total_elements() const {
+    return static_cast<std::uint64_t>(num_stages()) * elements_per_stage();
+  }
+
+  /// Stage configurations: config[stage][element] = true means "crossed".
+  using Config = std::vector<std::vector<bool>>;
+
+  /// Route a (possibly partial) permutation: dest_of[input] = output port or
+  /// -1 for idle inputs. Unused outputs are filled arbitrarily. Throws
+  /// lbnn::Error when dest_of repeats an output.
+  Config route(const std::vector<std::int32_t>& dest_of) const;
+
+  /// Push port values through the configured network (for verification).
+  std::vector<std::uint32_t> apply(const Config& config,
+                                   const std::vector<std::uint32_t>& in) const;
+
+ private:
+  void route_recursive(std::vector<std::int32_t>& perm, std::uint32_t lo,
+                       std::uint32_t size, std::uint32_t stage, Config& cfg) const;
+
+  std::uint32_t ports_;
+  std::uint32_t log2_;
+};
+
+}  // namespace lbnn::interconnect

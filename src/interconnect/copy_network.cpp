@@ -1,0 +1,68 @@
+#include "interconnect/copy_network.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn::interconnect {
+
+CopyNetwork::CopyNetwork(std::uint32_t positions) : positions_(positions) {
+  if (positions < 2 || (positions & (positions - 1)) != 0) {
+    throw Error("copy network needs a power-of-two position count >= 2");
+  }
+  log2_ = static_cast<std::uint32_t>(std::countr_zero(positions));
+}
+
+CopyNetwork::Config CopyNetwork::route_blocks(
+    const std::vector<std::uint32_t>& block_of) const {
+  LBNN_CHECK(block_of.size() == positions_, "wrong block map size");
+  // First position of each block.
+  std::vector<std::uint32_t> block_start(positions_, 0);
+  for (std::uint32_t p = 0; p < positions_; ++p) {
+    if (p == 0 || block_of[p] != block_of[p - 1]) {
+      block_start[p] = p;
+    } else {
+      LBNN_CHECK(block_of[p] == block_of[block_start[p - 1]],
+                 "blocks must be contiguous and nondecreasing");
+      block_start[p] = block_start[p - 1];
+    }
+  }
+
+  Config cfg(log2_, std::vector<bool>(positions_, false));
+  // Position with in-block offset j > 0 copies exactly once, at stage
+  // msb(j), from offset j - 2^msb(j) (already filled by earlier stages —
+  // fill order is by msb). Stages apply in increasing order.
+  for (std::uint32_t p = 0; p < positions_; ++p) {
+    const std::uint32_t off = p - block_start[p];
+    if (off == 0) continue;
+    const std::uint32_t s =
+        31u - static_cast<std::uint32_t>(std::countl_zero(off));
+    cfg[s][p] = true;
+  }
+  return cfg;
+}
+
+std::vector<std::uint32_t> CopyNetwork::apply(
+    const Config& cfg, const std::vector<std::uint32_t>& in) const {
+  LBNN_CHECK(in.size() == positions_, "wrong input size");
+  LBNN_CHECK(cfg.size() == log2_, "wrong config size");
+  std::vector<std::uint32_t> v(in);
+  for (std::uint32_t s = 0; s < log2_; ++s) {
+    const std::uint32_t stride = 1u << s;
+    // Copy from left to right within a stage; descending scan would also be
+    // correct since sources sit strictly to the left by `stride`, and each
+    // source's own stage-s setting is false for the offsets in question, but
+    // a snapshot keeps it obviously race-free.
+    const std::vector<std::uint32_t> snap(v);
+    for (std::uint32_t p = 0; p < positions_; ++p) {
+      if (cfg[s][p]) {
+        LBNN_CHECK(p >= stride, "copy from before position 0");
+        v[p] = snap[p - stride];
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace lbnn::interconnect

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbnn::interconnect {
+
+/// A logarithmic block-copy network over N = 2^k positions: log2(N) stages
+/// where position p at stage s either passes its own value or copies from
+/// position p - 2^s. Given values placed at the first position of contiguous
+/// blocks, the network fills every block with its leading value — the copy
+/// half of the copy-then-permute multicast construction.
+class CopyNetwork {
+ public:
+  explicit CopyNetwork(std::uint32_t positions);
+
+  std::uint32_t positions() const { return positions_; }
+  std::uint32_t num_stages() const { return log2_; }
+  std::uint64_t total_elements() const {
+    return static_cast<std::uint64_t>(log2_) * positions_;
+  }
+
+  /// config[stage][position] = true means "copy from position - 2^stage".
+  using Config = std::vector<std::vector<bool>>;
+
+  /// Configure for contiguous blocks: block_of[p] = index of the block that
+  /// position p belongs to (nondecreasing, each block contiguous). Every
+  /// position then receives the value of its block's first position.
+  Config route_blocks(const std::vector<std::uint32_t>& block_of) const;
+
+  std::vector<std::uint32_t> apply(const Config& config,
+                                   const std::vector<std::uint32_t>& in) const;
+
+ private:
+  std::uint32_t positions_;
+  std::uint32_t log2_;
+};
+
+}  // namespace lbnn::interconnect

@@ -1,0 +1,119 @@
+#include "interconnect/multicast.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn::interconnect {
+namespace {
+
+std::uint32_t pow2_ceil(std::uint32_t x) { return std::bit_ceil(x); }
+
+}  // namespace
+
+MulticastSwitch::MulticastSwitch(std::uint32_t sources, std::uint32_t destinations)
+    : sources_(sources),
+      destinations_(destinations),
+      ports_(pow2_ceil(std::max(std::max(sources, destinations), 2u))),
+      place_(ports_),
+      copy_(ports_),
+      distribute_(ports_) {
+  LBNN_CHECK(sources >= 1 && destinations >= 1, "degenerate switch");
+}
+
+MulticastSwitch::Config MulticastSwitch::route(
+    const std::vector<std::int32_t>& src_of_dest) const {
+  LBNN_CHECK(src_of_dest.size() == destinations_, "wrong assignment size");
+
+  // Fanout per source.
+  std::vector<std::uint32_t> fanout(sources_, 0);
+  std::uint32_t driven = 0;
+  for (const std::int32_t s : src_of_dest) {
+    if (s < 0) continue;
+    if (s >= static_cast<std::int32_t>(sources_)) throw Error("bad source lane");
+    ++fanout[static_cast<std::uint32_t>(s)];
+    ++driven;
+  }
+  LBNN_CHECK(driven <= ports_, "more destinations than ports");
+
+  // Contiguous blocks for sources with demand, then idle filler blocks.
+  std::vector<std::uint32_t> block_start(sources_, 0);
+  std::vector<std::uint32_t> block_of(ports_, 0);
+  std::vector<std::int32_t> place_dest(ports_, -1);
+  std::uint32_t pos = 0;
+  std::uint32_t block = 0;
+  for (std::uint32_t s = 0; s < sources_; ++s) {
+    if (fanout[s] == 0) continue;
+    block_start[s] = pos;
+    place_dest[s] = static_cast<std::int32_t>(pos);
+    for (std::uint32_t t = 0; t < fanout[s]; ++t) block_of[pos++] = block;
+    ++block;
+  }
+  for (std::uint32_t p = pos; p < ports_; ++p) block_of[p] = block++;
+
+  // Distribute: position block_start[s] + t -> t-th destination of source s.
+  std::vector<std::uint32_t> next_copy(block_start);
+  std::vector<std::int32_t> dist_dest(ports_, -1);
+  for (std::uint32_t d = 0; d < destinations_; ++d) {
+    const std::int32_t s = src_of_dest[d];
+    if (s < 0) continue;
+    dist_dest[next_copy[static_cast<std::uint32_t>(s)]++] =
+        static_cast<std::int32_t>(d);
+  }
+
+  Config cfg;
+  cfg.place = place_.route(place_dest);
+  cfg.copy = copy_.route_blocks(block_of);
+  cfg.distribute = distribute_.route(dist_dest);
+  return cfg;
+}
+
+std::vector<std::uint32_t> MulticastSwitch::apply(
+    const Config& cfg, const std::vector<std::uint32_t>& src) const {
+  LBNN_CHECK(src.size() == sources_, "wrong source count");
+  std::vector<std::uint32_t> v(ports_, kIdle);
+  for (std::uint32_t s = 0; s < sources_; ++s) v[s] = src[s];
+  v = place_.apply(cfg.place, v);
+  v = copy_.apply(cfg.copy, v);
+  v = distribute_.apply(cfg.distribute, v);
+  v.resize(destinations_, kIdle);
+  return v;
+}
+
+std::size_t verify_program_routes(const Program& prog) {
+  const std::uint32_t m = prog.cfg.m;
+  const MulticastSwitch fabric(m, 2 * m);
+  std::size_t checked = 0;
+  for (std::uint32_t w = 0; w < prog.num_wavefronts; ++w) {
+    for (std::uint32_t j = 0; j < prog.cfg.n; ++j) {
+      const LpvInstr& instr = prog.instr[w][j];
+      if (instr.routes.empty()) continue;
+      std::vector<std::int32_t> assignment(2 * m, -1);
+      bool any = false;
+      for (const RouteWrite& r : instr.routes) {
+        if (r.src.kind != SrcSel::Kind::kPrevLane) continue;
+        LBNN_CHECK(assignment[r.slot] == -1, "slot written twice in one memLoc");
+        assignment[r.slot] = static_cast<std::int32_t>(r.src.index);
+        any = true;
+      }
+      if (!any) continue;
+      const auto cfg = fabric.route(assignment);
+      // Push the source lane indices through; destination d must receive
+      // exactly assignment[d].
+      std::vector<std::uint32_t> ids(m);
+      for (std::uint32_t s = 0; s < m; ++s) ids[s] = s;
+      const auto out = fabric.apply(cfg, ids);
+      for (std::uint32_t d = 0; d < 2 * m; ++d) {
+        if (assignment[d] < 0) continue;
+        if (out[d] != static_cast<std::uint32_t>(assignment[d])) {
+          throw Error("staged switch fabric disagrees with the route table");
+        }
+      }
+      ++checked;
+    }
+  }
+  return checked;
+}
+
+}  // namespace lbnn::interconnect

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+#include "interconnect/benes.hpp"
+#include "interconnect/copy_network.hpp"
+
+namespace lbnn::interconnect {
+
+/// The non-blocking multicast switch between adjacent LPVs (Sec. IV): m LPE
+/// outputs fan out to 2m snapshot-register slots, any slot selecting any
+/// source. Built as the standard copy-then-permute decomposition in the
+/// spirit of Yang–Masson non-blocking broadcast networks [20]:
+///
+///   place (Beneš) -> block copy (log stages) -> distribute (Beneš)
+///
+/// `route` produces stage configurations for an arbitrary multicast
+/// assignment; `apply` pushes values through the staged fabric so tests can
+/// prove the functional route table of the simulator is realizable in
+/// hardware.
+class MulticastSwitch {
+ public:
+  MulticastSwitch(std::uint32_t sources, std::uint32_t destinations);
+
+  struct Config {
+    BenesNetwork::Config place;
+    CopyNetwork::Config copy;
+    BenesNetwork::Config distribute;
+  };
+
+  std::uint32_t sources() const { return sources_; }
+  std::uint32_t destinations() const { return destinations_; }
+  std::uint32_t ports() const { return ports_; }
+
+  /// Logical switching stages before pipelining (the paper pipelines the
+  /// fabric into tsw = 5 register stages).
+  std::uint32_t logical_stages() const {
+    return 2 * place_.num_stages() + copy_.num_stages();
+  }
+  std::uint64_t total_elements() const {
+    return 2 * place_.total_elements() + copy_.total_elements();
+  }
+
+  /// src_of_dest[d] = source lane feeding destination slot d, or -1 when the
+  /// slot is not driven this cycle.
+  Config route(const std::vector<std::int32_t>& src_of_dest) const;
+
+  /// Push one value per source through the staged fabric; returns one value
+  /// per destination (undriven destinations return kIdle).
+  static constexpr std::uint32_t kIdle = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> apply(const Config& cfg,
+                                   const std::vector<std::uint32_t>& src) const;
+
+ private:
+  std::uint32_t sources_;
+  std::uint32_t destinations_;
+  std::uint32_t ports_;
+  BenesNetwork place_;
+  CopyNetwork copy_;
+  BenesNetwork distribute_;
+};
+
+/// Prove every inter-LPV route configuration of a compiled program is
+/// realizable on the staged fabric: for each (memLoc, LPV) instruction,
+/// build the multicast assignment from its kPrevLane routes, route it, and
+/// check the staged result. Returns the number of configurations checked;
+/// throws lbnn::Error on any mismatch (which would mean the functional
+/// switch model of the simulator is optimistic).
+std::size_t verify_program_routes(const Program& prog);
+
+}  // namespace lbnn::interconnect

@@ -1,0 +1,29 @@
+#include "logic/cell_library.hpp"
+
+namespace lbnn {
+
+CellLibrary CellLibrary::paper_strict() {
+  return CellLibrary{GateOp::kBuf, GateOp::kNot, GateOp::kAnd,
+                     GateOp::kOr,  GateOp::kXor, GateOp::kXnor};
+}
+
+CellLibrary CellLibrary::lut4_full() {
+  return CellLibrary{GateOp::kBuf, GateOp::kNot,  GateOp::kAnd, GateOp::kNand,
+                     GateOp::kOr,  GateOp::kNor,  GateOp::kXor, GateOp::kXnor};
+}
+
+CellLibrary::CellLibrary(std::initializer_list<GateOp> ops) : ops_(ops) {
+  for (const GateOp op : ops_) {
+    supported_[static_cast<int>(op)] = true;
+  }
+  // Inputs and constants are structural, not cells; always admissible.
+  supported_[static_cast<int>(GateOp::kInput)] = true;
+  supported_[static_cast<int>(GateOp::kConst0)] = true;
+  supported_[static_cast<int>(GateOp::kConst1)] = true;
+}
+
+bool CellLibrary::supports(GateOp op) const {
+  return supported_[static_cast<int>(op)];
+}
+
+}  // namespace lbnn

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "logic/gate_op.hpp"
+#include "logic/truth_table4.hpp"
+
+namespace lbnn {
+
+/// The set of gate operations an LPE is allowed to execute ("customized cell
+/// library" of Sec. III). The technology mapper rewrites a netlist so that it
+/// only contains library ops; the compiler refuses netlists that still carry
+/// unsupported ops.
+class CellLibrary {
+ public:
+  /// Library containing exactly the ops named in the paper:
+  /// AND, OR, XOR, XNOR (MISO) and NOT, BUFFER (SISO).
+  static CellLibrary paper_strict();
+
+  /// Library with every function a 2-input LUT can realize (the default for
+  /// our hardware model).
+  static CellLibrary lut4_full();
+
+  CellLibrary(std::initializer_list<GateOp> ops);
+
+  bool supports(GateOp op) const;
+
+  const std::vector<GateOp>& ops() const { return ops_; }
+
+ private:
+  std::vector<GateOp> ops_;
+  bool supported_[16] = {};
+};
+
+}  // namespace lbnn

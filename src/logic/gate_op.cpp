@@ -1,0 +1,85 @@
+#include "logic/gate_op.hpp"
+
+#include "common/check.hpp"
+
+namespace lbnn {
+
+int gate_arity(GateOp op) {
+  switch (op) {
+    case GateOp::kConst0:
+    case GateOp::kConst1:
+    case GateOp::kInput:
+      return 0;
+    case GateOp::kBuf:
+    case GateOp::kNot:
+      return 1;
+    case GateOp::kAnd:
+    case GateOp::kNand:
+    case GateOp::kOr:
+    case GateOp::kNor:
+    case GateOp::kXor:
+    case GateOp::kXnor:
+      return 2;
+  }
+  LBNN_CHECK(false, "unknown GateOp");
+  return 0;
+}
+
+bool gate_is_commutative(GateOp op) { return gate_arity(op) == 2; }
+
+std::string_view gate_name(GateOp op) {
+  switch (op) {
+    case GateOp::kConst0: return "const0";
+    case GateOp::kConst1: return "const1";
+    case GateOp::kInput: return "input";
+    case GateOp::kBuf: return "buf";
+    case GateOp::kNot: return "not";
+    case GateOp::kAnd: return "and";
+    case GateOp::kNand: return "nand";
+    case GateOp::kOr: return "or";
+    case GateOp::kNor: return "nor";
+    case GateOp::kXor: return "xor";
+    case GateOp::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+bool gate_eval(GateOp op, bool a, bool b) {
+  switch (op) {
+    case GateOp::kConst0: return false;
+    case GateOp::kConst1: return true;
+    case GateOp::kInput:
+      LBNN_CHECK(false, "cannot evaluate a primary input");
+      return false;
+    case GateOp::kBuf: return a;
+    case GateOp::kNot: return !a;
+    case GateOp::kAnd: return a && b;
+    case GateOp::kNand: return !(a && b);
+    case GateOp::kOr: return a || b;
+    case GateOp::kNor: return !(a || b);
+    case GateOp::kXor: return a != b;
+    case GateOp::kXnor: return a == b;
+  }
+  LBNN_CHECK(false, "unknown GateOp");
+  return false;
+}
+
+GateOp gate_complement(GateOp op) {
+  switch (op) {
+    case GateOp::kConst0: return GateOp::kConst1;
+    case GateOp::kConst1: return GateOp::kConst0;
+    case GateOp::kBuf: return GateOp::kNot;
+    case GateOp::kNot: return GateOp::kBuf;
+    case GateOp::kAnd: return GateOp::kNand;
+    case GateOp::kNand: return GateOp::kAnd;
+    case GateOp::kOr: return GateOp::kNor;
+    case GateOp::kNor: return GateOp::kOr;
+    case GateOp::kXor: return GateOp::kXnor;
+    case GateOp::kXnor: return GateOp::kXor;
+    case GateOp::kInput: break;
+  }
+  LBNN_CHECK(false, "GateOp has no complement");
+  return op;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lbnn {
+
+/// The gate operations a Netlist node can carry.
+///
+/// The LPE logic unit of the paper supports MISO operations (AND, OR,
+/// XOR/XNOR) and SISO operations (NOT/BUFFER); our hardware model implements
+/// the logic unit as a 2-input configurable LUT, so NAND/NOR come for free and
+/// are included here. kInput marks a primary input; kConst0/kConst1 are
+/// constant drivers that optimization folds away before mapping.
+enum class GateOp : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+/// Number of fanins the op consumes (0, 1, or 2).
+int gate_arity(GateOp op);
+
+/// True for AND/NAND/OR/NOR/XOR/XNOR (operand order does not matter).
+bool gate_is_commutative(GateOp op);
+
+/// Lower-case mnemonic ("and", "xnor", ...), used by the Verilog writer and
+/// the disassembler.
+std::string_view gate_name(GateOp op);
+
+/// Evaluate the op on scalar booleans. For arity-1 ops `b` is ignored; for
+/// arity-0 ops both are ignored.
+bool gate_eval(GateOp op, bool a, bool b);
+
+/// The complementary op (AND<->NAND, BUF<->NOT, ...). Constants map to the
+/// other constant; kInput has no complement and triggers a check failure.
+GateOp gate_complement(GateOp op);
+
+}  // namespace lbnn

@@ -1,0 +1,23 @@
+#include "logic/truth_table4.hpp"
+
+namespace lbnn {
+
+TruthTable4 TruthTable4::from_op(GateOp op) {
+  switch (op) {
+    case GateOp::kConst0: return TruthTable4(0x0);
+    case GateOp::kConst1: return TruthTable4(0xF);
+    case GateOp::kBuf: return TruthTable4(0xA);   // f = a
+    case GateOp::kNot: return TruthTable4(0x5);   // f = !a
+    case GateOp::kAnd: return TruthTable4(0x8);
+    case GateOp::kNand: return TruthTable4(0x7);
+    case GateOp::kOr: return TruthTable4(0xE);
+    case GateOp::kNor: return TruthTable4(0x1);
+    case GateOp::kXor: return TruthTable4(0x6);
+    case GateOp::kXnor: return TruthTable4(0x9);
+    case GateOp::kInput: break;
+  }
+  LBNN_CHECK(false, "no truth table for op");
+  return TruthTable4();
+}
+
+}  // namespace lbnn

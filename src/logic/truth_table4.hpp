@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "logic/gate_op.hpp"
+
+namespace lbnn {
+
+/// A 2-input Boolean function as a 4-bit truth table.
+///
+/// Bit i of `bits` is the function value at input (a = i&1, b = (i>>1)&1).
+/// This is exactly the per-LPE configuration word of our hardware model: each
+/// LPE's logic unit is a 2-input LUT, which subsumes the MISO/SISO op list of
+/// the paper (Sec. IV).
+class TruthTable4 {
+ public:
+  constexpr TruthTable4() = default;
+  explicit constexpr TruthTable4(std::uint8_t bits) : bits_(bits & 0xF) {}
+
+  static TruthTable4 from_op(GateOp op);
+
+  constexpr std::uint8_t bits() const { return bits_; }
+
+  constexpr bool eval(bool a, bool b) const {
+    const int idx = (a ? 1 : 0) | (b ? 2 : 0);
+    return (bits_ >> idx) & 1;
+  }
+
+  constexpr bool is_const0() const { return bits_ == 0x0; }
+  constexpr bool is_const1() const { return bits_ == 0xF; }
+  /// True when the function ignores input b (i.e. is buf(a) or not(a) or const).
+  constexpr bool ignores_b() const {
+    return ((bits_ >> 0) & 1) == ((bits_ >> 2) & 1) &&
+           ((bits_ >> 1) & 1) == ((bits_ >> 3) & 1);
+  }
+  constexpr bool ignores_a() const {
+    return ((bits_ >> 0) & 1) == ((bits_ >> 1) & 1) &&
+           ((bits_ >> 2) & 1) == ((bits_ >> 3) & 1);
+  }
+
+  constexpr TruthTable4 complement() const {
+    return TruthTable4(static_cast<std::uint8_t>(~bits_ & 0xF));
+  }
+
+  /// Function with the two inputs swapped.
+  constexpr TruthTable4 swap_inputs() const {
+    std::uint8_t r = 0;
+    for (int idx = 0; idx < 4; ++idx) {
+      const int swapped = ((idx & 1) << 1) | ((idx >> 1) & 1);
+      if ((bits_ >> idx) & 1) r |= std::uint8_t(1u << swapped);
+    }
+    return TruthTable4(r);
+  }
+
+  friend constexpr bool operator==(TruthTable4 x, TruthTable4 y) {
+    return x.bits_ == y.bits_;
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace lbnn

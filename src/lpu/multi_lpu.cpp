@@ -1,0 +1,147 @@
+#include "lpu/multi_lpu.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn {
+namespace {
+
+/// Extract the transitive fanin cone of the given outputs as a standalone
+/// netlist. Returns the cone plus PI/PO index maps into the original.
+struct Cone {
+  Netlist netlist;
+  std::vector<std::uint32_t> po_indices;
+  std::vector<std::uint32_t> pi_indices;
+};
+
+Cone extract_cone(const Netlist& nl, const std::vector<std::uint32_t>& pos) {
+  std::vector<bool> keep(nl.num_nodes(), false);
+  for (const std::uint32_t po : pos) keep[nl.outputs()[po]] = true;
+  for (NodeId id = static_cast<NodeId>(nl.num_nodes()); id-- > 0;) {
+    if (!keep[id]) continue;
+    if (nl.arity(id) >= 1) keep[nl.fanin0(id)] = true;
+    if (nl.arity(id) == 2) keep[nl.fanin1(id)] = true;
+  }
+  Cone cone;
+  cone.po_indices = pos;
+  std::vector<NodeId> map(nl.num_nodes(), kInvalidNode);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (!keep[id]) continue;
+    if (nl.op(id) == GateOp::kInput) {
+      const auto pi = static_cast<std::uint32_t>(nl.input_index(id));
+      map[id] = cone.netlist.add_input(nl.input_name(pi));
+      cone.pi_indices.push_back(pi);
+    } else {
+      const NodeId a = nl.arity(id) >= 1 ? map[nl.fanin0(id)] : kInvalidNode;
+      const NodeId b = nl.arity(id) == 2 ? map[nl.fanin1(id)] : kInvalidNode;
+      map[id] = cone.netlist.add_gate(nl.op(id), a, b);
+    }
+  }
+  for (const std::uint32_t po : pos) {
+    cone.netlist.add_output(map[nl.outputs()[po]], nl.output_name(po));
+  }
+  return cone;
+}
+
+}  // namespace
+
+std::uint64_t ParallelCompileResult::steady_state_interval_cycles() const {
+  std::uint64_t worst = 0;
+  for (const auto& m : members) {
+    worst = std::max(worst, m.program.steady_state_interval_cycles());
+  }
+  return worst;
+}
+
+std::uint64_t ParallelCompileResult::latency_cycles() const {
+  std::uint64_t worst = 0;
+  for (const auto& m : members) {
+    worst = std::max(worst, m.program.clock_cycles());
+  }
+  return worst;
+}
+
+double ParallelCompileResult::samples_per_second() const {
+  const std::uint64_t interval = steady_state_interval_cycles();
+  if (interval == 0 || members.empty()) return 0.0;
+  const auto& cfg = members.front().program.cfg;
+  return cfg.clock_mhz * 1e6 / static_cast<double>(interval) *
+         cfg.effective_word_width();
+}
+
+ParallelCompileResult compile_parallel(const Netlist& nl,
+                                       const CompileOptions& options,
+                                       std::uint32_t k) {
+  if (k < 1) throw CompileError("parallel assembly needs at least one LPU");
+  if (k > nl.num_outputs()) {
+    throw CompileError("more LPUs than primary outputs; nothing to split");
+  }
+
+  // Balance output cones across LPUs: sort POs by cone size (descending) and
+  // assign each to the currently lightest group (LPT scheduling).
+  std::vector<std::size_t> cone_size(nl.num_outputs());
+  for (std::size_t po = 0; po < nl.num_outputs(); ++po) {
+    cone_size[po] = extract_cone(nl, {static_cast<std::uint32_t>(po)}).netlist.num_gates();
+  }
+  std::vector<std::uint32_t> order(nl.num_outputs());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&cone_size](std::uint32_t a, std::uint32_t b) {
+    return cone_size[a] > cone_size[b];
+  });
+  std::vector<std::vector<std::uint32_t>> groups(k);
+  std::vector<std::size_t> load(k, 0);
+  for (const std::uint32_t po : order) {
+    const std::size_t g = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    groups[g].push_back(po);
+    load[g] += cone_size[po];
+  }
+
+  ParallelCompileResult out;
+  for (auto& group : groups) {
+    if (group.empty()) continue;
+    std::sort(group.begin(), group.end());  // stable output order per member
+    Cone cone = extract_cone(nl, group);
+    CompileResult cr = compile(cone.netlist, options);
+    out.members.push_back({std::move(cr.program), cr.report,
+                           std::move(cone.po_indices), std::move(cone.pi_indices)});
+  }
+  return out;
+}
+
+std::vector<BitVec> run_parallel(const ParallelCompileResult& compiled,
+                                 const std::vector<BitVec>& inputs) {
+  LBNN_CHECK(!compiled.members.empty(), "empty assembly");
+  std::size_t num_pos = 0;
+  for (const auto& m : compiled.members) {
+    for (const std::uint32_t po : m.po_indices) {
+      num_pos = std::max(num_pos, static_cast<std::size_t>(po) + 1);
+    }
+  }
+  std::vector<BitVec> outputs(num_pos);
+  for (const auto& m : compiled.members) {
+    std::vector<BitVec> member_in;
+    member_in.reserve(m.pi_indices.size());
+    for (const std::uint32_t pi : m.pi_indices) member_in.push_back(inputs.at(pi));
+    LpuSimulator sim(m.program);
+    const auto member_out = sim.run(member_in);
+    for (std::size_t i = 0; i < m.po_indices.size(); ++i) {
+      outputs[m.po_indices[i]] = member_out[i];
+    }
+  }
+  return outputs;
+}
+
+CompileResult compile_series_equivalent(const Netlist& nl,
+                                        const CompileOptions& options,
+                                        std::uint32_t k) {
+  if (k < 1) throw CompileError("series assembly needs at least one LPU");
+  CompileOptions chained = options;
+  chained.lpu.n = options.lpu.n * k;
+  return compile(nl, chained);
+}
+
+}  // namespace lbnn

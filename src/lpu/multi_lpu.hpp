@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+
+namespace lbnn {
+
+/// Multi-LPU assembly (Sec. III: "Multiple LPUs can be assembled in parallel
+/// or series configuration for large graphs to complete the required
+/// computations ... at the extra area/power cost").
+///
+/// Parallel configuration: the primary outputs are split into `k` groups of
+/// balanced cone size; each group's transitive fanin cone is extracted as an
+/// independent netlist and compiled onto its own LPU. All LPUs consume the
+/// same input buffer contents and run concurrently, so the assembly's
+/// latency is the max over members and its initiation interval the max of
+/// the members' wavefront counts.
+struct ParallelCompileResult {
+  /// One compiled program per LPU, plus which original PO indices it serves.
+  struct Member {
+    Program program;
+    CompileReport report;
+    std::vector<std::uint32_t> po_indices;
+    /// Maps the member's PI positions to original PI indices.
+    std::vector<std::uint32_t> pi_indices;
+  };
+  std::vector<Member> members;
+
+  /// Slowest member's steady-state interval (clock cycles).
+  std::uint64_t steady_state_interval_cycles() const;
+  /// Slowest member's batch latency (clock cycles).
+  std::uint64_t latency_cycles() const;
+  /// Aggregate samples/s of the assembly (bounded by the slowest member).
+  double samples_per_second() const;
+};
+
+/// Compile `nl` for `k` parallel LPUs of identical configuration.
+/// Throws CompileError for k < 1 or k > number of outputs.
+ParallelCompileResult compile_parallel(const Netlist& nl,
+                                       const CompileOptions& options,
+                                       std::uint32_t k);
+
+/// Run every member on the shared inputs and reassemble the original output
+/// order (the harness around k LpuSimulators).
+std::vector<BitVec> run_parallel(const ParallelCompileResult& compiled,
+                                 const std::vector<BitVec>& inputs);
+
+/// Series configuration estimate: chaining `k` LPUs multiplies the usable
+/// depth per circulation pass by `k`, removing feedback bubbles for networks
+/// of depth <= k*n. Returns the compiled report for an equivalent single LPU
+/// with k*n LPVs (what the series assembly behaves like architecturally).
+CompileResult compile_series_equivalent(const Netlist& nl,
+                                        const CompileOptions& options,
+                                        std::uint32_t k);
+
+}  // namespace lbnn

@@ -1,0 +1,184 @@
+#include "lpu/simulator.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace lbnn {
+
+BitVec eval_lut(TruthTable4 lut, const BitVec& a, const BitVec& b) {
+  BitVec r(a.width(), false);
+  const BitVec na = ~a;
+  const BitVec nb = ~b;
+  if (lut.bits() & 0x1) r = r | (na & nb);
+  if (lut.bits() & 0x2) r = r | (a & nb);
+  if (lut.bits() & 0x4) r = r | (na & b);
+  if (lut.bits() & 0x8) r = r | (a & b);
+  return r;
+}
+
+LpuSimulator::LpuSimulator(const Program& program) : prog_(program) {
+  prog_.validate();
+}
+
+std::vector<BitVec> LpuSimulator::run(const std::vector<BitVec>& inputs) {
+  const LpuConfig& cfg = prog_.cfg;
+  const std::uint32_t n = cfg.n;
+  const std::uint32_t m = cfg.m;
+
+  if (inputs.size() != prog_.num_primary_inputs) {
+    throw SimError("wrong number of input words");
+  }
+  const std::size_t width =
+      inputs.empty() ? cfg.effective_word_width() : inputs[0].width();
+  for (const auto& v : inputs) {
+    if (v.width() != width) throw SimError("ragged input word widths");
+  }
+
+  // Input data buffer contents.
+  std::vector<BitVec> input_buffer(prog_.input_layout.size());
+  for (std::size_t a = 0; a < prog_.input_layout.size(); ++a) {
+    input_buffer[a] = inputs[prog_.input_layout[a]];
+  }
+
+  // Snapshot registers: regs[lpv][slot] (slot = lane*2 + ab).
+  const BitVec zero(width, false);
+  std::vector<std::vector<BitVec>> regs(n, std::vector<BitVec>(2 * m, zero));
+  std::vector<std::vector<char>> reg_valid(n, std::vector<char>(2 * m, 0));
+
+  struct FbEntry {
+    BitVec word;
+    std::uint64_t write_time;
+  };
+  std::unordered_map<std::uint32_t, FbEntry> feedback;
+
+  // Output taps grouped by wavefront for O(1) lookup.
+  std::unordered_map<std::uint32_t, std::vector<const OutputTap*>> taps_at;
+  for (const auto& tap : prog_.output_taps) taps_at[tap.wavefront].push_back(&tap);
+
+  std::vector<BitVec> outputs(prog_.num_primary_outputs, zero);
+  std::vector<char> output_set(prog_.num_primary_outputs, 0);
+
+  counters_ = SimCounters{};
+  counters_.wavefronts = prog_.num_wavefronts;
+
+  std::vector<BitVec> prev_out(m, zero);
+  std::vector<char> prev_valid(m, 0);
+  std::vector<BitVec> cur_out(m, zero);
+  std::vector<char> cur_valid(m, 0);
+
+  for (std::uint32_t w = 0; w < prog_.num_wavefronts; ++w) {
+    std::fill(prev_valid.begin(), prev_valid.end(), 0);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const LpvInstr& instr = prog_.instr[w][j];
+      if (hook_ && !instr.empty()) hook_(w, j, instr);
+
+      // Staged-switch mode: resolve the multicast assignment through the
+      // oracle (the staged fabric) instead of the functional route table.
+      std::vector<std::uint32_t> staged_src;
+      if (oracle_) {
+        std::vector<std::int32_t> assignment(2 * m, -1);
+        bool any = false;
+        for (const RouteWrite& r : instr.routes) {
+          if (r.src.kind == SrcSel::Kind::kPrevLane) {
+            assignment[r.slot] = static_cast<std::int32_t>(r.src.index);
+            any = true;
+          }
+        }
+        if (any) staged_src = oracle_(assignment);
+      }
+
+      // 1. Switch stage: deliver values into snapshot registers.
+      for (const RouteWrite& r : instr.routes) {
+        BitVec value;
+        switch (r.src.kind) {
+          case SrcSel::Kind::kPrevLane: {
+            if (j == 0) throw SimError("LPV 0 has no predecessor to route from");
+            const std::uint32_t lane =
+                staged_src.empty() ? r.src.index : staged_src[r.slot];
+            if (lane >= m || !prev_valid[lane]) {
+              throw SimError("route from an invalid previous-LPV lane");
+            }
+            value = prev_out[lane];
+            break;
+          }
+          case SrcSel::Kind::kInput:
+            value = input_buffer[r.src.index];
+            ++counters_.input_reads;
+            break;
+          case SrcSel::Kind::kFeedback: {
+            const auto it = feedback.find(r.src.index);
+            if (it == feedback.end()) {
+              throw SimError("feedback read before write (address " +
+                             std::to_string(r.src.index) + ")");
+            }
+            // Absolute macro time of this read is w + j; the write completed
+            // at its producer's wavefront + n - 1.
+            if (static_cast<std::uint64_t>(w) + j <= it->second.write_time) {
+              throw SimError("feedback read would outrun its write in hardware");
+            }
+            value = it->second.word;
+            break;
+          }
+        }
+        regs[j][r.slot] = std::move(value);
+        reg_valid[j][r.slot] = 1;
+        ++counters_.route_writes;
+      }
+
+      // 2. Compute stage: active LPEs evaluate their LUT.
+      std::fill(cur_valid.begin(), cur_valid.end(), 0);
+      for (const ComputeWrite& c : instr.computes) {
+        const std::size_t slot_a = static_cast<std::size_t>(c.lane) * 2;
+        const BitVec& a = regs[j][slot_a];
+        const BitVec& b = regs[j][slot_a + 1];
+        if (!c.lut.ignores_a() && !reg_valid[j][slot_a]) {
+          throw SimError("LPE computes over an invalid A operand");
+        }
+        if (!c.lut.ignores_b() && !reg_valid[j][slot_a + 1]) {
+          throw SimError("LPE computes over an invalid B operand");
+        }
+        cur_out[c.lane] = eval_lut(
+            c.lut, reg_valid[j][slot_a] ? a : BitVec(width, false),
+            reg_valid[j][slot_a + 1] ? b : BitVec(width, false));
+        cur_valid[c.lane] = 1;
+        ++counters_.lpe_computes;
+      }
+
+      // 3. Terminal LPV: feedback writes and output taps.
+      if (j == n - 1) {
+        for (const Lane lane : instr.feedback_writes) {
+          if (!cur_valid[lane]) throw SimError("feedback write of an invalid lane");
+          feedback[w * m + lane] =
+              FbEntry{cur_out[lane], static_cast<std::uint64_t>(w) + n - 1};
+          ++counters_.feedback_words;
+        }
+        const auto it = taps_at.find(w);
+        if (it != taps_at.end()) {
+          for (const OutputTap* tap : it->second) {
+            if (!cur_valid[tap->lane]) throw SimError("output tap of an invalid lane");
+            outputs[tap->po_index] = cur_out[tap->lane];
+            output_set[tap->po_index] = 1;
+          }
+        }
+      }
+      std::swap(prev_out, cur_out);
+      std::swap(prev_valid, cur_valid);
+    }
+  }
+
+  for (std::size_t po = 0; po < outputs.size(); ++po) {
+    if (!output_set[po]) {
+      throw SimError("primary output " + std::to_string(po) + " never produced");
+    }
+  }
+
+  counters_.macro_cycles = prog_.macro_cycles();
+  counters_.clock_cycles = prog_.clock_cycles();
+  const double denom = static_cast<double>(prog_.num_wavefronts) * n * m;
+  counters_.lpe_utilization =
+      denom == 0 ? 0.0 : static_cast<double>(counters_.lpe_computes) / denom;
+  return outputs;
+}
+
+}  // namespace lbnn

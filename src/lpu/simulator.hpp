@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "core/program.hpp"
+
+namespace lbnn {
+
+/// Execution statistics of one batch (used by benches and reports).
+struct SimCounters {
+  std::uint64_t wavefronts = 0;
+  std::uint64_t macro_cycles = 0;
+  std::uint64_t clock_cycles = 0;
+  std::uint64_t lpe_computes = 0;
+  std::uint64_t route_writes = 0;
+  std::uint64_t input_reads = 0;
+  std::uint64_t feedback_words = 0;
+  /// computes / (wavefronts * n * m)
+  double lpe_utilization = 0.0;
+};
+
+/// Cycle-level simulator of the LPU of Sec. IV.
+///
+/// Models: per-LPE snapshot registers with hold semantics, the non-blocking
+/// multicast switch between adjacent LPVs (functional routing; the
+/// interconnect library separately proves each route config realizable), the
+/// read-address shift register (a memLoc issued at macro cycle w reaches LPV
+/// j at w + j), the input data buffer, and the output data buffer including
+/// its feedback region for depth circulation.
+///
+/// The simulation is wave-by-wave, which is observationally equivalent to
+/// the fully pipelined machine; all *timing-sensitive* interactions
+/// (feedback read-after-write across passes) are checked against absolute
+/// macro-cycle times and raise SimError when a program would have raced in
+/// real hardware.
+class LpuSimulator {
+ public:
+  explicit LpuSimulator(const Program& program);
+
+  /// Run one batch. `inputs` holds one BitVec per primary input; all widths
+  /// must be equal (each bit lane is an independent sample; the paper's
+  /// datapath uses 2m lanes). Returns one BitVec per primary output.
+  std::vector<BitVec> run(const std::vector<BitVec>& inputs);
+
+  const SimCounters& counters() const { return counters_; }
+
+  /// Hook called once per (wavefront, lpv) with a non-empty instruction;
+  /// tests use it to push every route config through the staged switch
+  /// network model.
+  using InstrHook = std::function<void(std::uint32_t wavefront, std::uint32_t lpv,
+                                       const LpvInstr& instr)>;
+  void set_instr_hook(InstrHook hook) { hook_ = std::move(hook); }
+
+  /// Staged-switch mode: when set, every inter-LPV multicast assignment
+  /// (src_of_dest[slot] = previous-LPV lane or -1) is resolved through this
+  /// oracle instead of the functional route table; the oracle returns the
+  /// source lane actually delivered to each destination slot. Tests plug the
+  /// Beneš+copy fabric in here, so a routing bug in the staged hardware
+  /// model would surface as an output mismatch against the reference.
+  using RouteOracle =
+      std::function<std::vector<std::uint32_t>(const std::vector<std::int32_t>&)>;
+  void set_route_oracle(RouteOracle oracle) { oracle_ = std::move(oracle); }
+
+ private:
+  const Program& prog_;
+  SimCounters counters_;
+  InstrHook hook_;
+  RouteOracle oracle_;
+};
+
+/// Bitwise evaluation of a 2-input LUT over packed words.
+BitVec eval_lut(TruthTable4 lut, const BitVec& a, const BitVec& b);
+
+}  // namespace lbnn

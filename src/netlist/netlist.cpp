@@ -1,0 +1,101 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn {
+
+NodeId Netlist::add_input(std::string name) {
+  const NodeId id = static_cast<NodeId>(ops_.size());
+  ops_.push_back(GateOp::kInput);
+  fanin_.push_back({kInvalidNode, kInvalidNode});
+  input_index_.emplace(id, static_cast<int>(inputs_.size()));
+  inputs_.push_back(id);
+  input_names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId Netlist::add_gate(GateOp op, NodeId a, NodeId b) {
+  const NodeId id = static_cast<NodeId>(ops_.size());
+  const int arity = gate_arity(op);
+  LBNN_CHECK(op != GateOp::kInput, "use add_input for primary inputs");
+  if (arity >= 1) {
+    LBNN_CHECK(a < id, "fanin 0 must reference an existing node");
+  } else {
+    LBNN_CHECK(a == kInvalidNode, "arity-0 gate must not have fanins");
+  }
+  if (arity == 2) {
+    LBNN_CHECK(b < id, "fanin 1 must reference an existing node");
+  } else {
+    LBNN_CHECK(b == kInvalidNode, "gate arity/fanin mismatch");
+  }
+  ops_.push_back(op);
+  fanin_.push_back({a, b});
+  return id;
+}
+
+void Netlist::add_output(NodeId id, std::string name) {
+  LBNN_CHECK(id < ops_.size(), "output references nonexistent node");
+  outputs_.push_back(id);
+  output_names_.push_back(std::move(name));
+}
+
+int Netlist::input_index(NodeId id) const {
+  const auto it = input_index_.find(id);
+  return it == input_index_.end() ? -1 : it->second;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> counts(ops_.size(), 0);
+  for (NodeId id = 0; id < ops_.size(); ++id) {
+    for (int k = 0; k < arity(id); ++k) {
+      ++counts[fanin_[id][k]];
+    }
+  }
+  return counts;
+}
+
+std::vector<Level> Netlist::levels() const {
+  std::vector<Level> level(ops_.size(), 0);
+  for (NodeId id = 0; id < ops_.size(); ++id) {
+    Level max_in = -1;
+    for (int k = 0; k < arity(id); ++k) {
+      max_in = std::max(max_in, level[fanin_[id][k]]);
+    }
+    level[id] = (arity(id) == 0) ? 0 : max_in + 1;
+  }
+  return level;
+}
+
+Level Netlist::depth() const {
+  const auto lv = levels();
+  return lv.empty() ? 0 : *std::max_element(lv.begin(), lv.end());
+}
+
+void Netlist::validate() const {
+  if (fanin_.size() != ops_.size()) throw Error("netlist arrays out of sync");
+  for (NodeId id = 0; id < ops_.size(); ++id) {
+    const int ar = gate_arity(ops_[id]);
+    for (int k = 0; k < 2; ++k) {
+      if (k < ar) {
+        if (fanin_[id][k] >= id) {
+          throw Error("node " + std::to_string(id) + " has invalid fanin");
+        }
+      } else if (fanin_[id][k] != kInvalidNode) {
+        throw Error("node " + std::to_string(id) + " has extra fanin");
+      }
+    }
+  }
+  for (const NodeId out : outputs_) {
+    if (out >= ops_.size()) throw Error("dangling primary output");
+  }
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (ops_[inputs_[i]] != GateOp::kInput) {
+      throw Error("input list references a non-input node");
+    }
+  }
+}
+
+}  // namespace lbnn

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "logic/gate_op.hpp"
+
+namespace lbnn {
+
+/// A combinational logic network (the in-memory form of an FFCL block).
+///
+/// Nodes are stored in a dense, topologically ordered array: `add_gate`
+/// requires that every fanin already exists, so iterating ids 0..size-1 visits
+/// fanins before fanouts. Passes therefore never need an explicit topological
+/// sort. Netlists are value types; optimization passes build new netlists
+/// rather than mutating in place.
+class Netlist {
+ public:
+  /// Add a primary input. `name` must be unique among inputs.
+  NodeId add_input(std::string name);
+
+  /// Add a gate. Arity must match `op` (kInvalidNode for unused slots).
+  NodeId add_gate(GateOp op, NodeId a = kInvalidNode, NodeId b = kInvalidNode);
+
+  /// Declare `id` a primary output under `name`. The same node may drive
+  /// several outputs; output order is the declaration order.
+  void add_output(NodeId id, std::string name);
+
+  std::size_t num_nodes() const { return ops_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  GateOp op(NodeId id) const { return ops_[id]; }
+  NodeId fanin0(NodeId id) const { return fanin_[id][0]; }
+  NodeId fanin1(NodeId id) const { return fanin_[id][1]; }
+  int arity(NodeId id) const { return gate_arity(ops_[id]); }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::string& input_name(std::size_t i) const { return input_names_[i]; }
+  const std::string& output_name(std::size_t i) const { return output_names_[i]; }
+
+  /// Index of `id` in inputs(), or -1 if it is not a primary input.
+  int input_index(NodeId id) const;
+
+  /// Number of gate nodes (excludes primary inputs).
+  std::size_t num_gates() const { return ops_.size() - inputs_.size(); }
+
+  /// Count of fanout edges per node (outputs do not count as fanout).
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Logic level of every node: inputs/constants at 0, gates at
+  /// 1 + max(level of fanins). (Constants level 0.)
+  std::vector<Level> levels() const;
+
+  /// max over levels() (0 for a gate-free netlist).
+  Level depth() const;
+
+  /// Throws lbnn::Error if any structural invariant is broken (bad fanin ids,
+  /// arity mismatch, output of nonexistent node, ...). Called by tests and at
+  /// the compiler boundary.
+  void validate() const;
+
+ private:
+  std::vector<GateOp> ops_;
+  std::vector<std::array<NodeId, 2>> fanin_;
+  std::vector<NodeId> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_names_;
+  std::unordered_map<NodeId, int> input_index_;
+};
+
+}  // namespace lbnn

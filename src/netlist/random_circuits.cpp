@@ -1,0 +1,99 @@
+#include "netlist/random_circuits.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lbnn {
+namespace {
+
+GateOp random_binary_op(Rng& rng) {
+  static constexpr GateOp kOps[] = {GateOp::kAnd, GateOp::kNand, GateOp::kOr,
+                                    GateOp::kNor, GateOp::kXor,  GateOp::kXnor};
+  return kOps[rng.next_below(std::size(kOps))];
+}
+
+/// Pick an existing node id with optional bias toward recent ids.
+NodeId pick_node(std::size_t count, double recency_bias, Rng& rng) {
+  if (recency_bias <= 0.0) {
+    return static_cast<NodeId>(rng.next_below(count));
+  }
+  // Exponent < 1 pushes the uniform sample toward 1.0, i.e. toward recent ids.
+  const double u = rng.next_double();
+  const double biased = std::pow(u, 1.0 / (1.0 + recency_bias));
+  const auto idx = static_cast<std::size_t>(biased * static_cast<double>(count));
+  return static_cast<NodeId>(std::min(idx, count - 1));
+}
+
+}  // namespace
+
+Netlist random_dag(const RandomCircuitSpec& spec, Rng& rng) {
+  LBNN_CHECK(spec.num_inputs > 0, "need at least one input");
+  LBNN_CHECK(spec.num_outputs > 0, "need at least one output");
+  Netlist nl;
+  for (std::size_t i = 0; i < spec.num_inputs; ++i) {
+    nl.add_input("x" + std::to_string(i));
+  }
+  for (std::size_t g = 0; g < spec.num_gates; ++g) {
+    const std::size_t count = nl.num_nodes();
+    if (rng.next_double() < spec.unary_fraction) {
+      const GateOp op = rng.next_bool() ? GateOp::kNot : GateOp::kBuf;
+      nl.add_gate(op, pick_node(count, spec.recency_bias, rng));
+    } else {
+      nl.add_gate(random_binary_op(rng),
+                  pick_node(count, spec.recency_bias, rng),
+                  pick_node(count, spec.recency_bias, rng));
+    }
+  }
+  // Outputs: prefer the most recent gates so the whole graph tends to be live.
+  for (std::size_t o = 0; o < spec.num_outputs; ++o) {
+    const NodeId id = static_cast<NodeId>(nl.num_nodes() - 1 - rng.next_below(std::min<std::size_t>(nl.num_nodes(), spec.num_outputs * 2)));
+    nl.add_output(id, "y" + std::to_string(o));
+  }
+  return nl;
+}
+
+Netlist random_tree(std::size_t num_inputs, Rng& rng) {
+  LBNN_CHECK(num_inputs >= 2, "tree needs >= 2 leaves");
+  Netlist nl;
+  std::vector<NodeId> frontier;
+  frontier.reserve(num_inputs);
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    frontier.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  while (frontier.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((frontier.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      next.push_back(nl.add_gate(random_binary_op(rng), frontier[i], frontier[i + 1]));
+    }
+    if (frontier.size() % 2 == 1) next.push_back(frontier.back());
+    frontier = std::move(next);
+  }
+  nl.add_output(frontier[0], "y0");
+  return nl;
+}
+
+Netlist reconvergent_grid(std::size_t width, std::size_t layers, Rng& rng) {
+  LBNN_CHECK(width >= 2, "grid needs width >= 2");
+  Netlist nl;
+  std::vector<NodeId> row;
+  row.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    row.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  for (std::size_t l = 0; l < layers; ++l) {
+    std::vector<NodeId> next(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      next[i] = nl.add_gate(random_binary_op(rng), row[i], row[(i + 1) % width]);
+    }
+    row = std::move(next);
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    nl.add_output(row[i], "y" + std::to_string(i));
+  }
+  return nl;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Families of randomly generated circuits used by property tests and the
+/// compiler micro-benchmarks. All generators produce valid, connected
+/// netlists with at least one output.
+
+struct RandomCircuitSpec {
+  std::size_t num_inputs = 8;
+  std::size_t num_gates = 64;
+  std::size_t num_outputs = 4;
+  /// Bias each fanin pick toward recently created nodes; larger values make
+  /// deeper, narrower circuits. 0 = uniform over all existing nodes.
+  double recency_bias = 2.0;
+  /// Probability that a gate is a unary NOT/BUF instead of a binary op.
+  double unary_fraction = 0.1;
+};
+
+/// Layered random DAG: gates pick fanins among earlier nodes with a recency
+/// bias, ops drawn from the full LUT4 library.
+Netlist random_dag(const RandomCircuitSpec& spec, Rng& rng);
+
+/// A balanced reduction tree (AND/OR/XOR mix) over `num_inputs` leaves —
+/// the "deep and narrow" stress case for partitioning.
+Netlist random_tree(std::size_t num_inputs, Rng& rng);
+
+/// Highly reconvergent circuit: k layers that each XOR/AND adjacent pairs
+/// with wraparound, so every output depends on most inputs — the "wide with
+/// shared logic" stress case (resembles BNN popcount structure).
+Netlist reconvergent_grid(std::size_t width, std::size_t layers, Rng& rng);
+
+}  // namespace lbnn

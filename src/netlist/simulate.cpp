@@ -1,0 +1,95 @@
+#include "netlist/simulate.hpp"
+
+#include "common/check.hpp"
+
+namespace lbnn {
+
+std::vector<BitVec> simulate(const Netlist& nl, const std::vector<BitVec>& inputs) {
+  LBNN_CHECK(inputs.size() == nl.num_inputs(), "wrong number of input vectors");
+  const std::size_t width = inputs.empty() ? 1 : inputs[0].width();
+  for (const auto& v : inputs) {
+    LBNN_CHECK(v.width() == width, "ragged input widths");
+  }
+
+  std::vector<BitVec> value(nl.num_nodes());
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    switch (nl.op(id)) {
+      case GateOp::kInput:
+        value[id] = inputs[static_cast<std::size_t>(nl.input_index(id))];
+        break;
+      case GateOp::kConst0:
+        value[id] = BitVec(width, false);
+        break;
+      case GateOp::kConst1:
+        value[id] = BitVec(width, true);
+        break;
+      case GateOp::kBuf:
+        value[id] = value[nl.fanin0(id)];
+        break;
+      case GateOp::kNot:
+        value[id] = ~value[nl.fanin0(id)];
+        break;
+      case GateOp::kAnd:
+        value[id] = value[nl.fanin0(id)] & value[nl.fanin1(id)];
+        break;
+      case GateOp::kNand:
+        value[id] = ~(value[nl.fanin0(id)] & value[nl.fanin1(id)]);
+        break;
+      case GateOp::kOr:
+        value[id] = value[nl.fanin0(id)] | value[nl.fanin1(id)];
+        break;
+      case GateOp::kNor:
+        value[id] = ~(value[nl.fanin0(id)] | value[nl.fanin1(id)]);
+        break;
+      case GateOp::kXor:
+        value[id] = value[nl.fanin0(id)] ^ value[nl.fanin1(id)];
+        break;
+      case GateOp::kXnor:
+        value[id] = ~(value[nl.fanin0(id)] ^ value[nl.fanin1(id)]);
+        break;
+    }
+  }
+
+  std::vector<BitVec> out;
+  out.reserve(nl.num_outputs());
+  for (const NodeId o : nl.outputs()) out.push_back(value[o]);
+  return out;
+}
+
+std::vector<bool> simulate_scalar(const Netlist& nl, const std::vector<bool>& inputs) {
+  std::vector<BitVec> vecs;
+  vecs.reserve(inputs.size());
+  for (const bool b : inputs) {
+    BitVec v(1);
+    v.set(0, b);
+    vecs.push_back(v);
+  }
+  const auto outs = simulate(nl, vecs);
+  std::vector<bool> r;
+  r.reserve(outs.size());
+  for (const auto& o : outs) r.push_back(o.get(0));
+  return r;
+}
+
+std::vector<BitVec> random_inputs(const Netlist& nl, std::size_t width, Rng& rng) {
+  std::vector<BitVec> vecs;
+  vecs.reserve(nl.num_inputs());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    vecs.push_back(BitVec::random(width, rng));
+  }
+  return vecs;
+}
+
+bool equivalent_random(const Netlist& a, const Netlist& b, std::size_t width,
+                       std::size_t rounds, Rng& rng) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs()) {
+    return false;
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto in = random_inputs(a, width, rng);
+    if (simulate(a, in) != simulate(b, in)) return false;
+  }
+  return true;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Reference bit-parallel simulator for a Netlist.
+///
+/// `inputs` holds one BitVec per primary input (in inputs() order), all of the
+/// same width W; the result holds one BitVec per primary output. Each of the W
+/// bit lanes is an independent evaluation — the same packing the LPU datapath
+/// uses, so LPU-vs-reference comparison is exact.
+std::vector<BitVec> simulate(const Netlist& nl, const std::vector<BitVec>& inputs);
+
+/// Evaluate on a single scalar input assignment (convenience for small tests).
+std::vector<bool> simulate_scalar(const Netlist& nl, const std::vector<bool>& inputs);
+
+/// Random input vectors of the given lane width for every primary input.
+std::vector<BitVec> random_inputs(const Netlist& nl, std::size_t width, Rng& rng);
+
+/// True iff the two netlists have identical input/output arity and agree on
+/// `rounds` batches of `width`-lane random vectors (inputs are matched by
+/// position, not name). This is the workhorse of the pass-correctness
+/// property tests.
+bool equivalent_random(const Netlist& a, const Netlist& b, std::size_t width,
+                       std::size_t rounds, Rng& rng);
+
+}  // namespace lbnn

@@ -1,0 +1,33 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace lbnn {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.num_inputs = nl.num_inputs();
+  s.num_outputs = nl.num_outputs();
+  s.num_gates = nl.num_gates();
+  const auto levels = nl.levels();
+  s.depth = nl.num_nodes() == 0 ? 0 : *std::max_element(levels.begin(), levels.end());
+  s.width_profile.assign(static_cast<std::size_t>(s.depth) + 1, 0);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.op(id) == GateOp::kBuf) ++s.num_buffers;
+    ++s.width_profile[static_cast<std::size_t>(levels[id])];
+  }
+  s.max_width = s.width_profile.empty()
+                    ? 0
+                    : *std::max_element(s.width_profile.begin(), s.width_profile.end());
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s) {
+  os << "inputs=" << s.num_inputs << " outputs=" << s.num_outputs
+     << " gates=" << s.num_gates << " (buffers=" << s.num_buffers << ")"
+     << " depth=" << s.depth << " max_width=" << s.max_width;
+  return os;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Aggregate structural statistics of a netlist — used by compiler reports,
+/// the workload inventory in EXPERIMENTS.md, and tests.
+struct NetlistStats {
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_gates = 0;
+  std::size_t num_buffers = 0;  ///< kBuf nodes (FPB padding shows up here)
+  Level depth = 0;
+  /// Number of nodes at each level 0..depth.
+  std::vector<std::size_t> width_profile;
+  std::size_t max_width = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+std::ostream& operator<<(std::ostream& os, const NetlistStats& s);
+
+}  // namespace lbnn

@@ -1,0 +1,68 @@
+#include "nn/bnn.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+
+BnnDense BnnDense::random(std::size_t in, std::size_t out, Rng& rng) {
+  BnnDense layer;
+  layer.in_features = in;
+  layer.out_features = out;
+  layer.weight_bits.assign(out, std::vector<bool>(in));
+  layer.thresholds.assign(out, static_cast<std::int32_t>((in + 1) / 2));
+  for (auto& row : layer.weight_bits) {
+    for (std::size_t i = 0; i < in; ++i) row[i] = rng.next_bool();
+  }
+  return layer;
+}
+
+std::vector<std::int32_t> BnnDense::popcounts(const std::vector<bool>& x) const {
+  LBNN_CHECK(x.size() == in_features, "input size mismatch");
+  std::vector<std::int32_t> counts(out_features, 0);
+  for (std::size_t j = 0; j < out_features; ++j) {
+    std::int32_t c = 0;
+    const auto& row = weight_bits[j];
+    for (std::size_t i = 0; i < in_features; ++i) {
+      c += (x[i] == row[i]) ? 1 : 0;  // XNOR
+    }
+    counts[j] = c;
+  }
+  return counts;
+}
+
+std::vector<bool> BnnDense::forward(const std::vector<bool>& x) const {
+  const auto counts = popcounts(x);
+  std::vector<bool> y(out_features);
+  for (std::size_t j = 0; j < out_features; ++j) {
+    y[j] = counts[j] >= thresholds[j];
+  }
+  return y;
+}
+
+BnnModel BnnModel::random(const std::vector<std::size_t>& sizes, Rng& rng) {
+  LBNN_CHECK(sizes.size() >= 2, "model needs at least input and output sizes");
+  BnnModel model;
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    model.layers.push_back(BnnDense::random(sizes[l], sizes[l + 1], rng));
+  }
+  return model;
+}
+
+std::vector<bool> BnnModel::forward(const std::vector<bool>& x) const {
+  std::vector<bool> cur = x;
+  for (const auto& layer : layers) cur = layer.forward(cur);
+  return cur;
+}
+
+std::size_t BnnModel::predict(const std::vector<bool>& x) const {
+  LBNN_CHECK(!layers.empty(), "empty model");
+  std::vector<bool> cur = x;
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l) cur = layers[l].forward(cur);
+  const auto counts = layers.back().popcounts(cur);
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace lbnn::nn

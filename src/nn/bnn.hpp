@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lbnn::nn {
+
+/// A binarized dense layer (the NullaNet/XNOR-net compute model):
+///   y_j = [ popcount_i( x_i XNOR w_ji ) >= T_j ]
+/// with activations and weights in {0,1} standing for {-1,+1}. This integer
+/// form is the reference semantics the exported combinational logic must
+/// reproduce bit-exactly (tested).
+struct BnnDense {
+  std::size_t in_features = 0;
+  std::size_t out_features = 0;
+  /// weight_bits[j][i]: true = +1, false = -1.
+  std::vector<std::vector<bool>> weight_bits;
+  /// Popcount thresholds T_j (0..in_features+1).
+  std::vector<std::int32_t> thresholds;
+
+  static BnnDense random(std::size_t in, std::size_t out, Rng& rng);
+
+  /// Forward one binary sample.
+  std::vector<bool> forward(const std::vector<bool>& x) const;
+
+  /// Raw popcounts (pre-threshold), used by training and threshold fitting.
+  std::vector<std::int32_t> popcounts(const std::vector<bool>& x) const;
+};
+
+/// A feed-forward stack of binarized dense layers.
+struct BnnModel {
+  std::vector<BnnDense> layers;
+
+  static BnnModel random(const std::vector<std::size_t>& sizes, Rng& rng);
+
+  std::vector<bool> forward(const std::vector<bool>& x) const;
+
+  /// argmax over the last layer's popcounts (class prediction; the final
+  /// layer's thresholds are ignored for classification).
+  std::size_t predict(const std::vector<bool>& x) const;
+};
+
+}  // namespace lbnn::nn

@@ -1,0 +1,49 @@
+#include "nn/dataset.hpp"
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+
+Dataset make_blobs(std::size_t features, std::size_t classes,
+                   std::size_t samples_per_class, double noise, Rng& rng) {
+  LBNN_CHECK(classes >= 2, "need at least two classes");
+  Dataset ds;
+  ds.num_features = features;
+  ds.num_classes = classes;
+  std::vector<std::vector<bool>> prototypes(classes, std::vector<bool>(features));
+  for (auto& p : prototypes) {
+    for (std::size_t i = 0; i < features; ++i) p[i] = rng.next_bool();
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s) {
+      std::vector<bool> x = prototypes[c];
+      for (std::size_t i = 0; i < features; ++i) {
+        if (rng.next_double() < noise) x[i] = !x[i];
+      }
+      ds.samples.push_back(std::move(x));
+      ds.labels.push_back(c);
+    }
+  }
+  return ds;
+}
+
+Dataset make_subset_parity(std::size_t features, std::size_t subset,
+                           std::size_t samples, Rng& rng) {
+  LBNN_CHECK(subset <= features, "subset larger than feature count");
+  Dataset ds;
+  ds.num_features = features;
+  ds.num_classes = 2;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<bool> x(features);
+    bool parity = false;
+    for (std::size_t i = 0; i < features; ++i) {
+      x[i] = rng.next_bool();
+      if (i < subset && x[i]) parity = !parity;
+    }
+    ds.samples.push_back(std::move(x));
+    ds.labels.push_back(parity ? 1 : 0);
+  }
+  return ds;
+}
+
+}  // namespace lbnn::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lbnn::nn {
+
+/// A labeled binary-feature dataset (the substitute for the paper's
+/// MNIST/CIFAR/UNSW-NB15 pipelines; evaluation quantities are throughput and
+/// logic structure, not accuracy, so synthetic class structure suffices).
+struct Dataset {
+  std::size_t num_features = 0;
+  std::size_t num_classes = 0;
+  std::vector<std::vector<bool>> samples;
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return samples.size(); }
+};
+
+/// Binary blobs: each class has a random prototype bit-pattern; samples are
+/// prototypes with `noise` fraction of bits flipped. Linearly separable-ish,
+/// good for demonstrating BNN training end to end.
+Dataset make_blobs(std::size_t features, std::size_t classes,
+                   std::size_t samples_per_class, double noise, Rng& rng);
+
+/// Parity of a hidden subset of bits — the classic hard-for-linear dataset;
+/// used to exercise multi-layer training paths.
+Dataset make_subset_parity(std::size_t features, std::size_t subset,
+                           std::size_t samples, Rng& rng);
+
+}  // namespace lbnn::nn

@@ -1,0 +1,152 @@
+#include "nn/logic_export.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+namespace {
+
+/// Ripple-carry addition of two little-endian binary numbers.
+std::vector<NodeId> add_binary(Netlist& nl, const std::vector<NodeId>& a,
+                               const std::vector<NodeId>& b) {
+  std::vector<NodeId> sum;
+  NodeId carry = kInvalidNode;
+  const std::size_t width = std::max(a.size(), b.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId ai = i < a.size() ? a[i] : kInvalidNode;
+    const NodeId bi = i < b.size() ? b[i] : kInvalidNode;
+    if (ai != kInvalidNode && bi != kInvalidNode) {
+      const NodeId axb = nl.add_gate(GateOp::kXor, ai, bi);
+      if (carry == kInvalidNode) {
+        // Half adder.
+        sum.push_back(axb);
+        carry = nl.add_gate(GateOp::kAnd, ai, bi);
+      } else {
+        // Full adder.
+        sum.push_back(nl.add_gate(GateOp::kXor, axb, carry));
+        const NodeId t1 = nl.add_gate(GateOp::kAnd, ai, bi);
+        const NodeId t2 = nl.add_gate(GateOp::kAnd, carry, axb);
+        carry = nl.add_gate(GateOp::kOr, t1, t2);
+      }
+    } else {
+      const NodeId only = ai != kInvalidNode ? ai : bi;
+      LBNN_CHECK(only != kInvalidNode, "ragged adder inputs");
+      if (carry == kInvalidNode) {
+        sum.push_back(only);
+      } else {
+        sum.push_back(nl.add_gate(GateOp::kXor, only, carry));
+        carry = nl.add_gate(GateOp::kAnd, only, carry);
+      }
+    }
+  }
+  if (carry != kInvalidNode) sum.push_back(carry);
+  return sum;
+}
+
+}  // namespace
+
+std::vector<NodeId> build_popcount(Netlist& nl, const std::vector<NodeId>& bits) {
+  LBNN_CHECK(!bits.empty(), "popcount of zero bits");
+  // Balanced binary reduction of partial counts.
+  std::deque<std::vector<NodeId>> queue;
+  for (const NodeId b : bits) queue.push_back({b});
+  while (queue.size() > 1) {
+    const auto a = queue.front();
+    queue.pop_front();
+    const auto b = queue.front();
+    queue.pop_front();
+    queue.push_back(add_binary(nl, a, b));
+  }
+  return queue.front();
+}
+
+NodeId build_ge_const(Netlist& nl, const std::vector<NodeId>& value, std::uint32_t t) {
+  // value >= t, scanning from the MSB:
+  //   ge  |= eq & value_i        where t_i == 0
+  //   eq  &= (t_i ? value_i : ~value_i)
+  // Result ge | eq. Constant t specializes every step.
+  if (t == 0) {
+    // Always true; realize from a value bit: v | ~v.
+    const NodeId v = value[0];
+    return nl.add_gate(GateOp::kOr, v, nl.add_gate(GateOp::kNot, v));
+  }
+  if (t >= (1u << value.size())) {
+    // Unreachable threshold: constant false.
+    const NodeId v = value[0];
+    return nl.add_gate(GateOp::kAnd, v, nl.add_gate(GateOp::kNot, v));
+  }
+  NodeId ge = kInvalidNode;
+  NodeId eq = kInvalidNode;
+  for (std::size_t i = value.size(); i-- > 0;) {
+    const bool ti = (t >> i) & 1u;
+    const NodeId vi = value[i];
+    if (!ti) {
+      const NodeId term = eq == kInvalidNode ? vi : nl.add_gate(GateOp::kAnd, eq, vi);
+      ge = ge == kInvalidNode ? term : nl.add_gate(GateOp::kOr, ge, term);
+    }
+    const NodeId match = ti ? vi : nl.add_gate(GateOp::kNot, vi);
+    eq = eq == kInvalidNode ? match : nl.add_gate(GateOp::kAnd, eq, match);
+  }
+  LBNN_CHECK(eq != kInvalidNode, "empty comparator");
+  return ge == kInvalidNode ? eq : nl.add_gate(GateOp::kOr, ge, eq);
+}
+
+NodeId build_neuron(Netlist& nl, const std::vector<NodeId>& inputs,
+                    const std::vector<bool>& weight_bits, std::int32_t threshold) {
+  LBNN_CHECK(inputs.size() == weight_bits.size(), "weight/input size mismatch");
+  LBNN_CHECK(!inputs.empty(), "neuron with no inputs");
+  // XNOR with a constant weight bit: +1 passes the activation, -1 inverts.
+  std::vector<NodeId> xnors;
+  xnors.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    xnors.push_back(weight_bits[i] ? nl.add_gate(GateOp::kBuf, inputs[i])
+                                   : nl.add_gate(GateOp::kNot, inputs[i]));
+  }
+  const auto count = build_popcount(nl, xnors);
+  if (threshold <= 0) {
+    const NodeId v = inputs[0];
+    return nl.add_gate(GateOp::kOr, v, nl.add_gate(GateOp::kNot, v));
+  }
+  return build_ge_const(nl, count, static_cast<std::uint32_t>(threshold));
+}
+
+Netlist layer_to_netlist(const BnnDense& layer) {
+  Netlist nl;
+  std::vector<NodeId> inputs;
+  inputs.reserve(layer.in_features);
+  for (std::size_t i = 0; i < layer.in_features; ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  for (std::size_t j = 0; j < layer.out_features; ++j) {
+    const NodeId y =
+        build_neuron(nl, inputs, layer.weight_bits[j], layer.thresholds[j]);
+    nl.add_output(y, "y" + std::to_string(j));
+  }
+  return nl;
+}
+
+Netlist model_to_netlist(const BnnModel& model) {
+  LBNN_CHECK(!model.layers.empty(), "empty model");
+  Netlist nl;
+  std::vector<NodeId> cur;
+  for (std::size_t i = 0; i < model.layers.front().in_features; ++i) {
+    cur.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  for (const BnnDense& layer : model.layers) {
+    LBNN_CHECK(cur.size() == layer.in_features, "layer size mismatch");
+    std::vector<NodeId> next;
+    next.reserve(layer.out_features);
+    for (std::size_t j = 0; j < layer.out_features; ++j) {
+      next.push_back(
+          build_neuron(nl, cur, layer.weight_bits[j], layer.thresholds[j]));
+    }
+    cur = std::move(next);
+  }
+  for (std::size_t j = 0; j < cur.size(); ++j) {
+    nl.add_output(cur[j], "y" + std::to_string(j));
+  }
+  return nl;
+}
+
+}  // namespace lbnn::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "nn/bnn.hpp"
+
+namespace lbnn::nn {
+
+/// Exact combinational realization of BNN inference (the FFCL blocks the
+/// paper's upstream NullaNet flow emits): per neuron an XNOR stage (constant
+/// weights specialize to BUF/NOT), a popcount adder tree of half/full
+/// adders, and a >= threshold comparator against the constant T. The
+/// exported netlist is bit-exact against BnnDense::forward (tested
+/// exhaustively for small fan-in, randomly for large).
+
+/// Append the popcount circuit of `bits` to `nl`; returns the binary count,
+/// LSB first.
+std::vector<NodeId> build_popcount(Netlist& nl, const std::vector<NodeId>& bits);
+
+/// Append a comparator computing (value >= t) for an unsigned binary value
+/// (LSB first) against a compile-time constant.
+NodeId build_ge_const(Netlist& nl, const std::vector<NodeId>& value, std::uint32_t t);
+
+/// One neuron over the given input nodes.
+NodeId build_neuron(Netlist& nl, const std::vector<NodeId>& inputs,
+                    const std::vector<bool>& weight_bits, std::int32_t threshold);
+
+/// Whole layer as a standalone netlist (inputs x0..x{in-1}, outputs y0..).
+Netlist layer_to_netlist(const BnnDense& layer);
+
+/// Whole model as one netlist (layer outputs feed the next layer's logic).
+Netlist model_to_netlist(const BnnModel& model);
+
+}  // namespace lbnn::nn

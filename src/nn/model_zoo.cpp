@@ -1,0 +1,190 @@
+#include "nn/model_zoo.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "nn/logic_export.hpp"
+#include "nn/nullanet.hpp"
+
+namespace lbnn::nn {
+
+double ModelDesc::work_per_frame() const {
+  double w = 0;
+  for (const auto& l : layers) {
+    w += static_cast<double>(l.out_neurons) * static_cast<double>(l.positions);
+  }
+  return w;
+}
+
+double ModelDesc::macs_per_frame() const {
+  double w = 0;
+  for (const auto& l : layers) {
+    w += static_cast<double>(l.in_features) * static_cast<double>(l.out_neurons) *
+         static_cast<double>(l.positions);
+  }
+  return w;
+}
+
+ModelDesc vgg16() {
+  // 3x3 convolutions; layer i's fan-in = in_channels * 9, positions = H*W of
+  // the output feature map (224/112/56/28/14 after each pool).
+  ModelDesc m;
+  m.name = "VGG16";
+  const auto conv = [](std::string name, std::size_t in_ch, std::size_t out_ch,
+                       std::size_t hw) {
+    return LayerDesc{std::move(name), in_ch * 9, out_ch, hw * hw};
+  };
+  m.layers = {
+      conv("conv2", 64, 64, 224),  conv("conv3", 64, 128, 112),
+      conv("conv4", 128, 128, 112), conv("conv5", 128, 256, 56),
+      conv("conv6", 256, 256, 56), conv("conv7", 256, 256, 56),
+      conv("conv8", 256, 512, 28), conv("conv9", 512, 512, 28),
+      conv("conv10", 512, 512, 28), conv("conv11", 512, 512, 14),
+      conv("conv12", 512, 512, 14), conv("conv13", 512, 512, 14),
+  };
+  return m;
+}
+
+ModelDesc lenet5() {
+  ModelDesc m;
+  m.name = "LENET5";
+  m.layers = {
+      {"conv1", 25, 6, 28 * 28},
+      {"conv2", 6 * 25, 16, 10 * 10},
+      {"fc1", 400, 120, 1},
+      {"fc2", 120, 84, 1},
+      {"fc3", 84, 10, 1},
+  };
+  return m;
+}
+
+ModelDesc chewbacca_vgg() {
+  // ChewBaccaNN [2] runs a CIFAR VGG-like BNN; representative binary VGG
+  // configuration (convs 3x3, two pools, three dense).
+  ModelDesc m;
+  m.name = "ChewBaccaNN-VGG";
+  m.layers = {
+      {"conv2", 128 * 9, 128, 32 * 32}, {"conv3", 128 * 9, 256, 16 * 16},
+      {"conv4", 256 * 9, 256, 16 * 16}, {"conv5", 256 * 9, 512, 8 * 8},
+      {"conv6", 512 * 9, 512, 8 * 8},   {"fc1", 512 * 16, 1024, 1},
+      {"fc2", 1024, 1024, 1},           {"fc3", 1024, 10, 1},
+  };
+  return m;
+}
+
+namespace {
+
+ModelDesc mlpmixer(std::string name, std::size_t channels, std::size_t ds,
+                   std::size_t dc, std::size_t num_layers) {
+  // 32x32 input, 4x4 patches -> 64 patches (Sec. VI). Per mixing layer:
+  // token-mixing MLP (P->DS->P, applied per channel) and channel-mixing MLP
+  // (C->DC->C, applied per patch).
+  constexpr std::size_t kPatches = 64;
+  ModelDesc m;
+  m.name = std::move(name);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    const std::string p = "mix" + std::to_string(l + 1) + ".";
+    m.layers.push_back({p + "tok_fc1", kPatches, ds, channels});
+    m.layers.push_back({p + "tok_fc2", ds, kPatches, channels});
+    m.layers.push_back({p + "chan_fc1", channels, dc, kPatches});
+    m.layers.push_back({p + "chan_fc2", dc, channels, kPatches});
+  }
+  return m;
+}
+
+}  // namespace
+
+ModelDesc mlpmixer_s4() { return mlpmixer("MLPMixer-S/4", 128, 64, 512, 8); }
+ModelDesc mlpmixer_b4() { return mlpmixer("MLPMixer-B/4", 192, 96, 768, 12); }
+
+ModelDesc jsc_m() {
+  // Jet substructure classification [5]: 16 physics features, 5 classes;
+  // LogicNets-style medium topology.
+  ModelDesc m;
+  m.name = "JSC-M";
+  m.layers = {
+      {"fc1", 16, 64, 1}, {"fc2", 64, 32, 1}, {"fc3", 32, 32, 1}, {"fc4", 32, 5, 1}};
+  return m;
+}
+
+ModelDesc jsc_l() {
+  ModelDesc m;
+  m.name = "JSC-L";
+  m.layers = {{"fc1", 16, 32, 1},
+              {"fc2", 32, 64, 1},
+              {"fc3", 64, 192, 1},
+              {"fc4", 192, 256, 1},
+              {"fc5", 256, 5, 1}};
+  return m;
+}
+
+ModelDesc nid() {
+  // UNSW-NB15 with the Murovic et al. preprocessing: 593 binary features,
+  // two output classes (Sec. VI).
+  ModelDesc m;
+  m.name = "NID";
+  m.layers = {
+      {"fc1", 593, 100, 1}, {"fc2", 100, 100, 1}, {"fc3", 100, 2, 1}};
+  return m;
+}
+
+std::vector<ModelDesc> all_models() {
+  return {vgg16(),        lenet5(), chewbacca_vgg(), mlpmixer_s4(),
+          mlpmixer_b4(),  jsc_m(),  jsc_l(),         nid()};
+}
+
+LayerWorkload synthesize_layer_ffcl(const LayerDesc& desc, const SynthOptions& opt,
+                                    Rng& rng) {
+  LayerWorkload wl;
+  wl.desc = desc;
+  wl.inputs_modeled = std::min(desc.in_features, opt.max_inputs);
+  wl.neurons_modeled = std::min(desc.out_neurons, opt.max_neurons);
+  wl.fanin_used = std::min({desc.in_features, opt.fanin_cap, wl.inputs_modeled});
+  if (opt.style == NeuronStyle::kNullaNetTiny) {
+    wl.fanin_used = std::min<std::size_t>(wl.fanin_used, 12);  // QM tractability
+  }
+  LBNN_CHECK(wl.fanin_used >= 1, "degenerate layer");
+
+  Netlist& nl = wl.ffcl;
+  std::vector<NodeId> inputs;
+  inputs.reserve(wl.inputs_modeled);
+  for (std::size_t i = 0; i < wl.inputs_modeled; ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  for (std::size_t j = 0; j < wl.neurons_modeled; ++j) {
+    // Random fan-in subset (rejection sampling without replacement).
+    std::vector<NodeId> picks;
+    std::vector<bool> taken(wl.inputs_modeled, false);
+    while (picks.size() < wl.fanin_used) {
+      const std::size_t i = rng.next_below(wl.inputs_modeled);
+      if (taken[i]) continue;
+      taken[i] = true;
+      picks.push_back(inputs[i]);
+    }
+    std::vector<bool> weights(wl.fanin_used);
+    for (std::size_t i = 0; i < wl.fanin_used; ++i) weights[i] = rng.next_bool();
+    // Median threshold with +-1 jitter keeps neurons non-degenerate.
+    const std::int32_t jitter = static_cast<std::int32_t>(rng.next_below(3)) - 1;
+    const std::int32_t t = std::max<std::int32_t>(
+        1, static_cast<std::int32_t>(wl.fanin_used / 2) + jitter);
+
+    NodeId y = kInvalidNode;
+    if (opt.style == NeuronStyle::kPopcountExact) {
+      y = build_neuron(nl, picks, weights, t);
+    } else {
+      // NullaNet-Tiny: minimize the pruned neuron's truth table and factor
+      // the cover into a small cone.
+      BnnDense one;
+      one.in_features = wl.fanin_used;
+      one.out_features = 1;
+      one.weight_bits = {weights};
+      one.thresholds = {t};
+      const auto cover = minimize_table(neuron_truth_table(one, 0));
+      y = build_cover(nl, picks, cover);
+    }
+    nl.add_output(y, "y" + std::to_string(j));
+  }
+  return wl;
+}
+
+}  // namespace lbnn::nn

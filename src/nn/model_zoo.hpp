@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbnn::nn {
+
+/// Shape of one FFCL-realized layer of a benchmark model (Sec. VI): each of
+/// `out_neurons` filters/units is a Boolean function of `in_features` binary
+/// inputs, evaluated at `positions` spatial positions (conv patches; 1 for
+/// dense layers). Positions map onto the LPU's word lanes ("the 2m bits of
+/// data come from different patches of an input feature volume").
+struct LayerDesc {
+  std::string name;
+  std::size_t in_features = 0;
+  std::size_t out_neurons = 0;
+  std::size_t positions = 1;
+};
+
+struct ModelDesc {
+  std::string name;
+  std::vector<LayerDesc> layers;
+
+  /// Total neuron evaluations per frame (sum of out*positions).
+  double work_per_frame() const;
+  /// Total multiply-accumulates per frame (sum of in*out*positions) — used
+  /// by the MAC baseline model.
+  double macs_per_frame() const;
+};
+
+/// The benchmark set of Sec. VI. Layer shapes follow the cited
+/// architectures; where the paper leaves details unstated (ChewBaccaNN's
+/// VGG-ish network, the LogicNets JSC/NID topologies) representative
+/// configurations from the cited papers are used and noted inline.
+ModelDesc vgg16();          ///< conv layers 2-13, the paper's main workload
+ModelDesc lenet5();
+ModelDesc chewbacca_vgg();  ///< ChewBaccaNN's CIFAR VGG-like BNN
+ModelDesc mlpmixer_s4();    ///< MLPMixer-S patch 4: C=128, DS=64, DC=512, 8 layers
+ModelDesc mlpmixer_b4();    ///< MLPMixer-B patch 4: C=192, DS=96, DC=768, 12 layers
+ModelDesc jsc_m();          ///< jet substructure classification, medium
+ModelDesc jsc_l();          ///< jet substructure classification, large
+ModelDesc nid();            ///< network intrusion detection (UNSW-NB15, 593 features)
+
+std::vector<ModelDesc> all_models();
+
+/// Which combinational form a synthesized neuron takes.
+enum class NeuronStyle {
+  /// Exact XNOR + popcount adder tree + comparator — the full-precision FFCL
+  /// of a binarized neuron (hundreds of gates for realistic fan-in).
+  kPopcountExact,
+  /// NullaNet-Tiny style ([11]): fan-in pruned to a handful of inputs, the
+  /// neuron's truth table minimized (QM) and factored into a small 2-input
+  /// gate cone — the form the paper's upstream flow actually feeds the LPU.
+  kNullaNetTiny,
+};
+
+/// How much of a layer is synthesized into an actual netlist. Real layers
+/// have up to 512 filters of fan-in 4608; we synthesize a structurally
+/// faithful sample (NullaNet-Tiny prunes fan-in the same way) and the
+/// throughput harness scales by the modeled fraction (EXPERIMENTS.md).
+struct SynthOptions {
+  std::size_t max_neurons = 24;  ///< neurons synthesized per layer
+  std::size_t max_inputs = 96;   ///< primary inputs modeled
+  std::size_t fanin_cap = 24;    ///< per-neuron fan-in cap
+  NeuronStyle style = NeuronStyle::kPopcountExact;
+};
+
+struct LayerWorkload {
+  LayerDesc desc;
+  Netlist ffcl;
+  std::size_t neurons_modeled = 0;
+  std::size_t inputs_modeled = 0;
+  std::size_t fanin_used = 0;
+};
+
+/// Synthesize the FFCL block of one layer: each modeled neuron is an exact
+/// XNOR-popcount-threshold function of a random input subset with random
+/// signs and a median threshold.
+LayerWorkload synthesize_layer_ffcl(const LayerDesc& desc, const SynthOptions& opt,
+                                    Rng& rng);
+
+}  // namespace lbnn::nn

@@ -1,0 +1,132 @@
+#include "nn/nullanet.hpp"
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+namespace {
+
+std::vector<bool> pattern_of(std::uint32_t minterm, std::uint32_t k) {
+  std::vector<bool> x(k);
+  for (std::uint32_t i = 0; i < k; ++i) x[i] = (minterm >> i) & 1u;
+  return x;
+}
+
+std::uint32_t minterm_of(const std::vector<bool>& x) {
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i]) m |= 1u << i;
+  }
+  return m;
+}
+
+}  // namespace
+
+TruthTable neuron_truth_table(const BnnDense& layer, std::size_t j) {
+  LBNN_CHECK(layer.in_features <= 20, "exact table limited to 20 inputs");
+  const std::uint32_t k = static_cast<std::uint32_t>(layer.in_features);
+  TruthTable t;
+  t.num_vars = k;
+  t.on.assign(1ull << k, false);
+  t.care.assign(1ull << k, true);
+  for (std::uint32_t m = 0; m < (1u << k); ++m) {
+    t.on[m] = layer.forward(pattern_of(m, k))[j];
+  }
+  return t;
+}
+
+TruthTable observed_truth_table(const BnnDense& layer, std::size_t j,
+                                const std::vector<std::vector<bool>>& observed) {
+  LBNN_CHECK(layer.in_features <= 20, "table limited to 20 inputs");
+  const std::uint32_t k = static_cast<std::uint32_t>(layer.in_features);
+  TruthTable t;
+  t.num_vars = k;
+  t.on.assign(1ull << k, false);
+  t.care.assign(1ull << k, false);
+  for (const auto& x : observed) {
+    LBNN_CHECK(x.size() == layer.in_features, "observed pattern size mismatch");
+    const std::uint32_t m = minterm_of(x);
+    t.care[m] = true;
+    t.on[m] = layer.forward(x)[j];
+  }
+  return t;
+}
+
+std::vector<Implicant> minimize_table(const TruthTable& table) {
+  std::vector<std::uint32_t> on;
+  std::vector<std::uint32_t> dc;
+  for (std::uint32_t m = 0; m < table.size(); ++m) {
+    if (!table.care[m]) {
+      dc.push_back(m);
+    } else if (table.on[m]) {
+      on.push_back(m);
+    }
+  }
+  return minimize_qm(table.num_vars, on, dc);
+}
+
+NodeId build_cover(Netlist& nl, const std::vector<NodeId>& inputs,
+                   const std::vector<Implicant>& cover) {
+  LBNN_CHECK(!inputs.empty(), "cover over no inputs");
+  const auto const_node = [&nl, &inputs](bool v) {
+    const NodeId x = inputs[0];
+    const NodeId nx = nl.add_gate(GateOp::kNot, x);
+    return nl.add_gate(v ? GateOp::kOr : GateOp::kAnd, x, nx);
+  };
+  if (cover.empty()) return const_node(false);
+
+  std::vector<NodeId> products;
+  for (const Implicant& imp : cover) {
+    std::vector<NodeId> literals;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if ((imp.mask >> i) & 1u) continue;  // free variable
+      const bool positive = (imp.value >> i) & 1u;
+      literals.push_back(positive ? inputs[i] : nl.add_gate(GateOp::kNot, inputs[i]));
+    }
+    if (literals.empty()) return const_node(true);  // tautology implicant
+    // Balanced AND tree.
+    while (literals.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t i = 0; i + 1 < literals.size(); i += 2) {
+        next.push_back(nl.add_gate(GateOp::kAnd, literals[i], literals[i + 1]));
+      }
+      if (literals.size() % 2 == 1) next.push_back(literals.back());
+      literals = std::move(next);
+    }
+    products.push_back(literals[0]);
+  }
+  while (products.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(nl.add_gate(GateOp::kOr, products[i], products[i + 1]));
+    }
+    if (products.size() % 2 == 1) next.push_back(products.back());
+    products = std::move(next);
+  }
+  return products[0];
+}
+
+Netlist synthesize_sop(const TruthTable& table) {
+  Netlist nl;
+  std::vector<NodeId> inputs;
+  for (std::uint32_t i = 0; i < table.num_vars; ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  nl.add_output(build_cover(nl, inputs, minimize_table(table)), "y0");
+  return nl;
+}
+
+Netlist nullanet_layer(const BnnDense& layer) {
+  LBNN_CHECK(layer.in_features <= 16, "nullanet_layer limited to 16 inputs");
+  Netlist nl;
+  std::vector<NodeId> inputs;
+  for (std::size_t i = 0; i < layer.in_features; ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  for (std::size_t j = 0; j < layer.out_features; ++j) {
+    const auto cover = minimize_table(neuron_truth_table(layer, j));
+    nl.add_output(build_cover(nl, inputs, cover), "y" + std::to_string(j));
+  }
+  return nl;
+}
+
+}  // namespace lbnn::nn

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "nn/bnn.hpp"
+#include "nn/quine_mccluskey.hpp"
+
+namespace lbnn::nn {
+
+/// A single-output truth table with a care set over k <= 20 inputs — the
+/// NullaNet neuron representation ([10],[11]): enumerate (or observe from
+/// data) the neuron's input patterns, treat unobserved patterns as
+/// don't-cares, minimize, and emit fixed-function combinational logic.
+struct TruthTable {
+  std::uint32_t num_vars = 0;
+  std::vector<bool> on;    ///< indexed by minterm
+  std::vector<bool> care;  ///< false = don't-care
+
+  std::size_t size() const { return on.size(); }
+};
+
+/// Exact table of neuron `j` of `layer` (enumerates all 2^k patterns;
+/// layer.in_features <= 20 enforced).
+TruthTable neuron_truth_table(const BnnDense& layer, std::size_t j);
+
+/// Data-driven table: care set restricted to the observed activation
+/// patterns (NullaNet's don't-care optimization).
+TruthTable observed_truth_table(const BnnDense& layer, std::size_t j,
+                                const std::vector<std::vector<bool>>& observed);
+
+/// Minimize with QM and factor the cover into 2-input gates. The result has
+/// inputs x0..x{k-1} and output y0 and agrees with the table on its care set
+/// (tested exhaustively).
+Netlist synthesize_sop(const TruthTable& table);
+
+/// Build the cover for a table (exposed for tests/benches).
+std::vector<Implicant> minimize_table(const TruthTable& table);
+
+/// Append the factored cover over existing input nodes; returns the output.
+NodeId build_cover(Netlist& nl, const std::vector<NodeId>& inputs,
+                   const std::vector<Implicant>& cover);
+
+/// Full layer via the NullaNet path: per-neuron exact tables, QM, shared
+/// input nodes. Fan-in limited to 16 inputs (enforced).
+Netlist nullanet_layer(const BnnDense& layer);
+
+}  // namespace lbnn::nn

@@ -1,0 +1,126 @@
+#include "nn/quine_mccluskey.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+namespace {
+
+struct ImplicantKey {
+  std::uint64_t operator()(const Implicant& i) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(i.mask) << 32) | i.value);
+  }
+};
+
+}  // namespace
+
+std::vector<Implicant> minimize_qm(std::uint32_t num_vars,
+                                   const std::vector<std::uint32_t>& on,
+                                   const std::vector<std::uint32_t>& dc) {
+  LBNN_CHECK(num_vars <= 24, "QM limited to 24 variables");
+  if (on.empty()) return {};
+
+  // Current generation of implicants (deduplicated).
+  std::unordered_set<Implicant, ImplicantKey> current;
+  for (const std::uint32_t m : on) current.insert({m, 0});
+  for (const std::uint32_t m : dc) current.insert({m, 0});
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    // Group by (mask, popcount of value) so only single-bit-apart pairs in
+    // the same mask class combine.
+    std::vector<Implicant> terms(current.begin(), current.end());
+    std::sort(terms.begin(), terms.end(), [](const Implicant& a, const Implicant& b) {
+      if (a.mask != b.mask) return a.mask < b.mask;
+      const int pa = std::popcount(a.value);
+      const int pb = std::popcount(b.value);
+      if (pa != pb) return pa < pb;
+      return a.value < b.value;
+    });
+    std::vector<bool> combined(terms.size(), false);
+    std::unordered_set<Implicant, ImplicantKey> next;
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      for (std::size_t j = i + 1; j < terms.size(); ++j) {
+        if (terms[j].mask != terms[i].mask) break;  // sorted by mask
+        const std::uint32_t diff = terms[i].value ^ terms[j].value;
+        if (std::popcount(diff) != 1) continue;
+        next.insert({terms[i].value & ~diff, terms[i].mask | diff});
+        combined[i] = true;
+        combined[j] = true;
+      }
+    }
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (!combined[i]) primes.push_back(terms[i]);
+    }
+    current = std::move(next);
+  }
+
+  // Cover the on-set: essential primes, then greedy by coverage count.
+  std::vector<std::uint32_t> remaining(on);
+  std::sort(remaining.begin(), remaining.end());
+  remaining.erase(std::unique(remaining.begin(), remaining.end()), remaining.end());
+
+  std::vector<Implicant> cover;
+  std::vector<bool> used(primes.size(), false);
+
+  // Essential primes: a minterm covered by exactly one prime.
+  for (const std::uint32_t m : remaining) {
+    int only = -1;
+    int count = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (primes[p].covers(m)) {
+        ++count;
+        only = static_cast<int>(p);
+        if (count > 1) break;
+      }
+    }
+    LBNN_CHECK(count >= 1, "prime generation missed a minterm");
+    if (count == 1 && !used[static_cast<std::size_t>(only)]) {
+      used[static_cast<std::size_t>(only)] = true;
+      cover.push_back(primes[static_cast<std::size_t>(only)]);
+    }
+  }
+  const auto is_covered = [&cover](std::uint32_t m) {
+    return std::any_of(cover.begin(), cover.end(),
+                       [m](const Implicant& i) { return i.covers(m); });
+  };
+  remaining.erase(std::remove_if(remaining.begin(), remaining.end(), is_covered),
+                  remaining.end());
+
+  // Greedy: repeatedly take the prime covering the most remaining minterms.
+  while (!remaining.empty()) {
+    std::size_t best = primes.size();
+    std::size_t best_count = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (used[p]) continue;
+      std::size_t c = 0;
+      for (const std::uint32_t m : remaining) {
+        if (primes[p].covers(m)) ++c;
+      }
+      if (c > best_count) {
+        best_count = c;
+        best = p;
+      }
+    }
+    LBNN_CHECK(best < primes.size(), "greedy cover stalled");
+    used[best] = true;
+    cover.push_back(primes[best]);
+    const Implicant chosen = primes[best];
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&chosen](std::uint32_t m) { return chosen.covers(m); }),
+                    remaining.end());
+  }
+  return cover;
+}
+
+bool cover_eval(const std::vector<Implicant>& cover, std::uint32_t minterm) {
+  return std::any_of(cover.begin(), cover.end(),
+                     [minterm](const Implicant& i) { return i.covers(minterm); });
+}
+
+}  // namespace lbnn::nn

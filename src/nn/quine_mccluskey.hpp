@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lbnn::nn {
+
+/// A product term over k variables: `value` gives the required bit for every
+/// position whose `mask` bit is 0; positions with mask bit 1 are free
+/// ("dashes"). A term with all-ones mask is the tautology.
+struct Implicant {
+  std::uint32_t value = 0;
+  std::uint32_t mask = 0;
+
+  bool covers(std::uint32_t minterm) const {
+    return ((minterm ^ value) & ~mask) == 0;
+  }
+  friend bool operator==(const Implicant&, const Implicant&) = default;
+};
+
+/// Quine–McCluskey two-level minimization with don't-cares (the logic
+/// minimization NullaNet applies to truth tables before handing FFCL blocks
+/// to this paper's flow).
+///
+/// `on` and `dc` list minterms (k <= 24 enforced); the result is a set of
+/// prime implicants covering every on-minterm (essential primes first, then
+/// greedy cover), using the dc-set for combining but never requiring it.
+std::vector<Implicant> minimize_qm(std::uint32_t num_vars,
+                                   const std::vector<std::uint32_t>& on,
+                                   const std::vector<std::uint32_t>& dc);
+
+/// Evaluate a cover at a minterm (for verification).
+bool cover_eval(const std::vector<Implicant>& cover, std::uint32_t minterm);
+
+}  // namespace lbnn::nn

@@ -1,0 +1,150 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace lbnn::nn {
+namespace {
+
+/// Float-latent twin of BnnModel used during training only.
+struct LatentLayer {
+  std::size_t in = 0, out = 0;
+  std::vector<std::vector<double>> w;  // [out][in]
+  std::vector<double> bias;
+};
+
+double sign_pm1(bool b) { return b ? 1.0 : -1.0; }
+
+}  // namespace
+
+TrainResult train_bnn(const Dataset& ds, const std::vector<std::size_t>& sizes,
+                      const TrainOptions& opt) {
+  LBNN_CHECK(sizes.front() == ds.num_features, "input size mismatch");
+  LBNN_CHECK(sizes.back() == ds.num_classes, "output size mismatch");
+  Rng rng(opt.seed);
+
+  std::vector<LatentLayer> latent;
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    LatentLayer lay;
+    lay.in = sizes[l];
+    lay.out = sizes[l + 1];
+    lay.w.assign(lay.out, std::vector<double>(lay.in));
+    lay.bias.assign(lay.out, 0.0);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(lay.in));
+    for (auto& row : lay.w) {
+      for (auto& v : row) v = (rng.next_double() * 2.0 - 1.0) * scale;
+    }
+    latent.push_back(std::move(lay));
+  }
+
+  const std::size_t n_layers = latent.size();
+  std::vector<std::vector<double>> act(n_layers + 1);   // +-1 activations
+  std::vector<std::vector<double>> pre(n_layers);       // pre-activations
+  std::vector<std::vector<double>> grad(n_layers + 1);  // dL/d(activation)
+
+  std::vector<std::size_t> order(ds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+    // Fisher-Yates shuffle for SGD.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (const std::size_t s : order) {
+      // Forward with binarized weights and sign activations.
+      act[0].assign(ds.num_features, 0.0);
+      for (std::size_t i = 0; i < ds.num_features; ++i) {
+        act[0][i] = sign_pm1(ds.samples[s][i]);
+      }
+      for (std::size_t l = 0; l < n_layers; ++l) {
+        const LatentLayer& lay = latent[l];
+        pre[l].assign(lay.out, 0.0);
+        act[l + 1].assign(lay.out, 0.0);
+        for (std::size_t j = 0; j < lay.out; ++j) {
+          double z = lay.bias[j];
+          for (std::size_t i = 0; i < lay.in; ++i) {
+            z += (lay.w[j][i] >= 0 ? 1.0 : -1.0) * act[l][i];
+          }
+          pre[l][j] = z;
+          act[l + 1][j] = z >= 0 ? 1.0 : -1.0;
+        }
+      }
+      // Loss: squared error against +-1 one-hot targets on the last layer's
+      // *pre-activations* scaled into [-1, 1] via tanh surrogate.
+      grad[n_layers].assign(latent.back().out, 0.0);
+      for (std::size_t j = 0; j < latent.back().out; ++j) {
+        const double target = (ds.labels[s] == j) ? 1.0 : -1.0;
+        const double y = std::tanh(pre[n_layers - 1][j]);
+        grad[n_layers][j] = (y - target) * (1.0 - y * y);
+      }
+      // Backward with the straight-through estimator: d(sign)/dz = 1{|z|<=1}
+      // for hidden layers (the output layer gradient already includes tanh').
+      for (std::size_t l = n_layers; l-- > 0;) {
+        const LatentLayer& lay = latent[l];
+        std::vector<double> gz(lay.out);
+        for (std::size_t j = 0; j < lay.out; ++j) {
+          double g = grad[l + 1][j];
+          if (l + 1 < n_layers) {
+            g *= (std::abs(pre[l][j]) <= 1.0) ? 1.0 : 0.0;
+          }
+          gz[j] = g;
+        }
+        grad[l].assign(lay.in, 0.0);
+        for (std::size_t j = 0; j < lay.out; ++j) {
+          const double g = gz[j];
+          if (g == 0.0) continue;
+          for (std::size_t i = 0; i < lay.in; ++i) {
+            // STE through the binarized weight as well.
+            grad[l][i] += g * (latent[l].w[j][i] >= 0 ? 1.0 : -1.0);
+          }
+        }
+        for (std::size_t j = 0; j < lay.out; ++j) {
+          const double g = gz[j];
+          if (g == 0.0) continue;
+          latent[l].bias[j] -= opt.learning_rate * g;
+          for (std::size_t i = 0; i < lay.in; ++i) {
+            double& wv = latent[l].w[j][i];
+            wv -= opt.learning_rate * g * act[l][i];
+            wv = std::clamp(wv, -1.0, 1.0);  // latent weight clipping
+          }
+        }
+      }
+    }
+  }
+
+  // Extract the binarized model: w >= 0 -> +1; bias folds into the popcount
+  // threshold: sum_i w_i x_i + bias >= 0  <=>  popcount >= (in - bias) / 2.
+  TrainResult res;
+  for (const LatentLayer& lay : latent) {
+    BnnDense d;
+    d.in_features = lay.in;
+    d.out_features = lay.out;
+    d.weight_bits.assign(lay.out, std::vector<bool>(lay.in));
+    d.thresholds.assign(lay.out, 0);
+    for (std::size_t j = 0; j < lay.out; ++j) {
+      for (std::size_t i = 0; i < lay.in; ++i) {
+        d.weight_bits[j][i] = lay.w[j][i] >= 0;
+      }
+      const double t = (static_cast<double>(lay.in) - lay.bias[j]) / 2.0;
+      d.thresholds[j] = static_cast<std::int32_t>(std::lround(std::ceil(t)));
+      d.thresholds[j] = std::clamp<std::int32_t>(
+          d.thresholds[j], 0, static_cast<std::int32_t>(lay.in) + 1);
+    }
+    res.model.layers.push_back(std::move(d));
+  }
+  res.train_accuracy = accuracy(res.model, ds);
+  return res;
+}
+
+double accuracy(const BnnModel& model, const Dataset& ds) {
+  if (ds.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    if (model.predict(ds.samples[s]) == ds.labels[s]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+}  // namespace lbnn::nn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "nn/bnn.hpp"
+#include "nn/dataset.hpp"
+
+namespace lbnn::nn {
+
+/// Straight-through-estimator training of a BnnModel (the upstream NullaNet
+/// flow trains binarized networks the same way: float latent weights,
+/// binarized forward, sign gradients passed through with clipping).
+struct TrainOptions {
+  std::size_t epochs = 30;
+  double learning_rate = 0.05;
+  std::uint64_t seed = 1;
+};
+
+struct TrainResult {
+  BnnModel model;
+  double train_accuracy = 0.0;
+};
+
+/// Train a model with the given layer sizes (sizes.front() must equal the
+/// dataset's feature count; sizes.back() its class count).
+TrainResult train_bnn(const Dataset& ds, const std::vector<std::size_t>& sizes,
+                      const TrainOptions& opt);
+
+/// Classification accuracy of `model` on `ds`.
+double accuracy(const BnnModel& model, const Dataset& ds);
+
+}  // namespace lbnn::nn

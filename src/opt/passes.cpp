@@ -1,0 +1,244 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace lbnn {
+namespace {
+
+struct PairHash {
+  std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& p) const {
+    return std::hash<std::uint64_t>()(p.first * 0x9E3779B97F4A7C15ull + p.second);
+  }
+};
+
+/// Tracks, for a node in the *new* netlist, whether we know it is a constant
+/// or the complement of another node (enables a&~a-style rewrites without a
+/// full AIG).
+struct NodeFacts {
+  enum class Const : std::uint8_t { kUnknown, kZero, kOne };
+  Const constant = Const::kUnknown;
+  NodeId complement_of = kInvalidNode;  ///< node this one is the NOT of
+};
+
+class Rewriter {
+ public:
+  explicit Rewriter(const Netlist& in) : in_(in) {}
+
+  Netlist run(bool* changed) {
+    map_.assign(in_.num_nodes(), kInvalidNode);
+    for (NodeId id = 0; id < in_.num_nodes(); ++id) {
+      map_[id] = rewrite_node(id);
+    }
+    for (std::size_t i = 0; i < in_.num_outputs(); ++i) {
+      out_.add_output(map_[in_.outputs()[i]], in_.output_name(i));
+    }
+    if (changed != nullptr) *changed = changed_;
+    return std::move(out_);
+  }
+
+ private:
+  NodeFacts::Const const_of(NodeId new_id) const {
+    return facts_.at(new_id).constant;
+  }
+
+  NodeId make_const(bool v) {
+    const GateOp op = v ? GateOp::kConst1 : GateOp::kConst0;
+    // Share one constant node of each polarity.
+    NodeId& slot = v ? const1_ : const0_;
+    if (slot == kInvalidNode) {
+      slot = out_.add_gate(op);
+      facts_[slot].constant = v ? NodeFacts::Const::kOne : NodeFacts::Const::kZero;
+    }
+    return slot;
+  }
+
+  /// Record and return a gate, with structural hashing.
+  NodeId emit(GateOp op, NodeId a = kInvalidNode, NodeId b = kInvalidNode) {
+    if (gate_is_commutative(op) && b < a) std::swap(a, b);
+    const std::uint64_t key_lo = (static_cast<std::uint64_t>(op) << 32) | a;
+    const auto key = std::make_pair(key_lo, static_cast<std::uint64_t>(b));
+    if (gate_arity(op) > 0) {
+      const auto it = strash_.find(key);
+      if (it != strash_.end()) {
+        changed_ = true;  // a duplicate structure was shared
+        return it->second;
+      }
+    }
+    const NodeId id = out_.add_gate(op, a, b);
+    auto& f = facts_[id];
+    if (op == GateOp::kNot) {
+      f.complement_of = a;
+      // Register the inverse direction too, so not(not(a)) finds a.
+      auto& fa = facts_[a];
+      if (fa.complement_of == kInvalidNode) fa.complement_of = id;
+    }
+    if (gate_arity(op) > 0) strash_.emplace(key, id);
+    return id;
+  }
+
+  bool is_complement_pair(NodeId x, NodeId y) const {
+    const auto fx = facts_.find(x);
+    if (fx != facts_.end() && fx->second.complement_of == y) return true;
+    const auto fy = facts_.find(y);
+    return fy != facts_.end() && fy->second.complement_of == x;
+  }
+
+  NodeId rewrite_node(NodeId id) {
+    const GateOp op = in_.op(id);
+    switch (op) {
+      case GateOp::kInput: {
+        const NodeId nid = out_.add_input(in_.input_name(static_cast<std::size_t>(in_.input_index(id))));
+        facts_[nid];
+        return nid;
+      }
+      case GateOp::kConst0:
+        changed_ = changed_ || const0_ != kInvalidNode;
+        return make_const(false);
+      case GateOp::kConst1:
+        changed_ = changed_ || const1_ != kInvalidNode;
+        return make_const(true);
+      default:
+        break;
+    }
+
+    const NodeId a = map_[in_.fanin0(id)];
+    if (gate_arity(op) == 1) return rewrite_unary(op, a);
+    const NodeId b = map_[in_.fanin1(id)];
+    return rewrite_binary(op, a, b);
+  }
+
+  NodeId rewrite_unary(GateOp op, NodeId a) {
+    const NodeFacts::Const ca = const_of(a);
+    if (op == GateOp::kBuf) {
+      changed_ = true;  // buffers are pure aliases at this stage
+      return a;
+    }
+    // NOT.
+    if (ca == NodeFacts::Const::kZero) { changed_ = true; return make_const(true); }
+    if (ca == NodeFacts::Const::kOne) { changed_ = true; return make_const(false); }
+    const NodeId comp = facts_.at(a).complement_of;
+    if (comp != kInvalidNode && out_.op(a) == GateOp::kNot) {
+      changed_ = true;  // not(not(x)) = x
+      return comp;
+    }
+    return emit(GateOp::kNot, a);
+  }
+
+  NodeId rewrite_binary(GateOp op, NodeId a, NodeId b) {
+    const NodeFacts::Const ca = const_of(a);
+    const NodeFacts::Const cb = const_of(b);
+    const bool a_const = ca != NodeFacts::Const::kUnknown;
+    const bool b_const = cb != NodeFacts::Const::kUnknown;
+
+    if (a_const && b_const) {
+      changed_ = true;
+      const bool va = ca == NodeFacts::Const::kOne;
+      const bool vb = cb == NodeFacts::Const::kOne;
+      return make_const(gate_eval(op, va, vb));
+    }
+    if (a_const || b_const) {
+      changed_ = true;
+      const bool cv = (a_const ? ca : cb) == NodeFacts::Const::kOne;
+      const NodeId x = a_const ? b : a;
+      return apply_with_constant(op, x, cv);
+    }
+    if (a == b) {
+      changed_ = true;
+      switch (op) {
+        case GateOp::kAnd:
+        case GateOp::kOr: return a;
+        case GateOp::kNand:
+        case GateOp::kNor: return rewrite_unary(GateOp::kNot, a);
+        case GateOp::kXor: return make_const(false);
+        case GateOp::kXnor: return make_const(true);
+        default: break;
+      }
+    }
+    if (is_complement_pair(a, b)) {
+      changed_ = true;
+      switch (op) {
+        case GateOp::kAnd: return make_const(false);
+        case GateOp::kNand: return make_const(true);
+        case GateOp::kOr: return make_const(true);
+        case GateOp::kNor: return make_const(false);
+        case GateOp::kXor: return make_const(true);
+        case GateOp::kXnor: return make_const(false);
+        default: break;
+      }
+    }
+    return emit(op, a, b);
+  }
+
+  /// op(x, constant) partial evaluation. Returns x, ~x, or a constant.
+  NodeId apply_with_constant(GateOp op, NodeId x, bool c) {
+    const bool f0 = gate_eval(op, false, c);  // value when x=0
+    const bool f1 = gate_eval(op, true, c);   // value when x=1
+    if (f0 == f1) return make_const(f0);
+    if (!f0 && f1) return x;                  // identity in x
+    return rewrite_unary(GateOp::kNot, x);    // complement of x
+  }
+
+  const Netlist& in_;
+  Netlist out_;
+  std::vector<NodeId> map_;
+  std::unordered_map<NodeId, NodeFacts> facts_;
+  std::unordered_map<std::pair<std::uint64_t, std::uint64_t>, NodeId, PairHash> strash_;
+  NodeId const0_ = kInvalidNode;
+  NodeId const1_ = kInvalidNode;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+Netlist rewrite_once(const Netlist& nl, bool* changed) {
+  Rewriter rw(nl);
+  return rw.run(changed);
+}
+
+Netlist eliminate_dead(const Netlist& nl) {
+  std::vector<bool> live(nl.num_nodes(), false);
+  for (const NodeId o : nl.outputs()) live[o] = true;
+  for (NodeId id = static_cast<NodeId>(nl.num_nodes()); id-- > 0;) {
+    if (!live[id]) continue;
+    if (nl.arity(id) >= 1) live[nl.fanin0(id)] = true;
+    if (nl.arity(id) == 2) live[nl.fanin1(id)] = true;
+  }
+  Netlist out;
+  std::vector<NodeId> map(nl.num_nodes(), kInvalidNode);
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.op(id) == GateOp::kInput) {
+      map[id] = out.add_input(nl.input_name(static_cast<std::size_t>(nl.input_index(id))));
+    } else if (live[id]) {
+      const NodeId a = nl.arity(id) >= 1 ? map[nl.fanin0(id)] : kInvalidNode;
+      const NodeId b = nl.arity(id) == 2 ? map[nl.fanin1(id)] : kInvalidNode;
+      map[id] = out.add_gate(nl.op(id), a, b);
+    }
+  }
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    out.add_output(map[nl.outputs()[i]], nl.output_name(i));
+  }
+  return out;
+}
+
+Netlist optimize(const Netlist& nl, OptStats* stats) {
+  constexpr std::size_t kMaxIterations = 16;
+  Netlist cur = nl;
+  std::size_t iters = 0;
+  for (; iters < kMaxIterations; ++iters) {
+    bool changed = false;
+    cur = rewrite_once(cur, &changed);
+    if (!changed) break;
+  }
+  cur = eliminate_dead(cur);
+  if (stats != nullptr) {
+    stats->gates_before = nl.num_gates();
+    stats->gates_after = cur.num_gates();
+    stats->rewrite_iterations = iters;
+  }
+  return cur;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Statistics of one optimize() run ("logic minimization" box of Fig. 1).
+struct OptStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t rewrite_iterations = 0;
+};
+
+/// One forward rewrite sweep combining:
+///   * constant folding (total and partial, e.g. and(x,1) -> x)
+///   * buffer/double-inverter collapsing via aliasing
+///   * single-node identities (a&a, a^a, a&~a, nand(a,a), ...)
+///   * structural hashing (CSE with canonical operand order)
+/// Returns the rewritten netlist; sets *changed if anything was simplified.
+/// Semantics are preserved (property-tested).
+Netlist rewrite_once(const Netlist& nl, bool* changed);
+
+/// Remove every gate not reachable from a primary output. Primary inputs are
+/// always retained so the interface is stable.
+Netlist eliminate_dead(const Netlist& nl);
+
+/// rewrite_once to fixpoint, then eliminate_dead.
+Netlist optimize(const Netlist& nl, OptStats* stats = nullptr);
+
+}  // namespace lbnn

@@ -1,0 +1,75 @@
+#include "opt/path_balance.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace lbnn {
+
+Netlist balance_paths(const Netlist& nl, Level pad_outputs_to) {
+  const auto levels = nl.levels();
+  Level lmax = pad_outputs_to < 0 ? 0 : pad_outputs_to;
+  for (const NodeId o : nl.outputs()) lmax = std::max(lmax, levels[o]);
+
+  Netlist out;
+  std::vector<NodeId> map(nl.num_nodes(), kInvalidNode);
+  // chain[src] = buffer chain tail ids: chain[src][k] delays src to level
+  // levels[src] + k + 1. Built lazily and shared among consumers.
+  std::unordered_map<NodeId, std::vector<NodeId>> chains;
+
+  const auto delayed_to = [&](NodeId src_old, Level target_level) -> NodeId {
+    const Level src_level = levels[src_old];
+    LBNN_CHECK(target_level >= src_level, "cannot deliver a value backwards in time");
+    if (target_level == src_level) return map[src_old];
+    auto& chain = chains[src_old];
+    while (static_cast<Level>(chain.size()) < target_level - src_level) {
+      const NodeId prev = chain.empty() ? map[src_old] : chain.back();
+      chain.push_back(out.add_gate(GateOp::kBuf, prev));
+    }
+    return chain[static_cast<std::size_t>(target_level - src_level) - 1];
+  };
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    switch (nl.op(id)) {
+      case GateOp::kInput:
+        map[id] = out.add_input(nl.input_name(static_cast<std::size_t>(nl.input_index(id))));
+        break;
+      case GateOp::kConst0:
+      case GateOp::kConst1:
+        map[id] = out.add_gate(nl.op(id));
+        break;
+      default: {
+        const Level lv = levels[id];
+        const NodeId a = delayed_to(nl.fanin0(id), lv - 1);
+        const NodeId b = nl.arity(id) == 2 ? delayed_to(nl.fanin1(id), lv - 1) : kInvalidNode;
+        map[id] = out.add_gate(nl.op(id), a, b);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    const NodeId src = nl.outputs()[i];
+    out.add_output(delayed_to(src, lmax), nl.output_name(i));
+  }
+  return out;
+}
+
+bool is_path_balanced(const Netlist& nl) {
+  const auto levels = nl.levels();
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    for (int k = 0; k < nl.arity(id); ++k) {
+      const NodeId f = k == 0 ? nl.fanin0(id) : nl.fanin1(id);
+      if (levels[id] != levels[f] + 1) return false;
+    }
+  }
+  Level lmax = 0;
+  for (const NodeId o : nl.outputs()) lmax = std::max(lmax, levels[o]);
+  for (const NodeId o : nl.outputs()) {
+    if (levels[o] != lmax) return false;
+  }
+  return true;
+}
+
+}  // namespace lbnn

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Full path balancing (FPB, Sec. II): insert BUFFER nodes so that
+///   * every edge spans exactly one logic level, and
+///   * every primary output sits at the same level Lmax.
+/// After FPB no data dependency exists between non-adjacent levels, which is
+/// what lets the pipelined LPU move data strictly LPV-to-LPV (Sec. IV).
+///
+/// Buffer chains are shared per source node: a node feeding consumers at
+/// several levels grows a single chain tapped at each required level, so the
+/// buffer count for a node is max-gap, not sum-of-gaps.
+///
+/// `pad_outputs_to` (when >= 0) forces the common output level to be at least
+/// that value; the compiler uses it to align Lmax with the last LPV of the
+/// final circulation pass (Lmax ≡ n-1 mod n).
+Netlist balance_paths(const Netlist& nl, Level pad_outputs_to = -1);
+
+/// True iff `nl` satisfies both FPB conditions (used by tests and asserted at
+/// the partitioner boundary).
+bool is_path_balanced(const Netlist& nl);
+
+}  // namespace lbnn

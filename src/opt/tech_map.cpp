@@ -1,0 +1,80 @@
+#include "opt/tech_map.hpp"
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn {
+
+Netlist tech_map(const Netlist& nl, const CellLibrary& lib) {
+  Netlist out;
+  std::vector<NodeId> map(nl.num_nodes(), kInvalidNode);
+
+  const auto emit_not = [&](NodeId a) {
+    LBNN_CHECK(lib.supports(GateOp::kNot), "cell library must support NOT");
+    return out.add_gate(GateOp::kNot, a);
+  };
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    const GateOp op = nl.op(id);
+    switch (op) {
+      case GateOp::kInput:
+        map[id] = out.add_input(nl.input_name(static_cast<std::size_t>(nl.input_index(id))));
+        continue;
+      case GateOp::kConst0:
+      case GateOp::kConst1: {
+        if (nl.num_inputs() == 0) {
+          throw CompileError("cannot realize a constant without any primary input");
+        }
+        // The mapped netlist's PI node for input 0 is its id in `out`, which
+        // is the same position because inputs are emitted in order.
+        const NodeId x = map[nl.inputs()[0]];
+        const GateOp gen = (op == GateOp::kConst0) ? GateOp::kXor : GateOp::kXnor;
+        if (lib.supports(gen)) {
+          map[id] = out.add_gate(gen, x, x);
+        } else if (op == GateOp::kConst0 && lib.supports(GateOp::kXnor)) {
+          map[id] = emit_not(out.add_gate(GateOp::kXnor, x, x));
+        } else if (op == GateOp::kConst1 && lib.supports(GateOp::kXor)) {
+          map[id] = emit_not(out.add_gate(GateOp::kXor, x, x));
+        } else {
+          throw CompileError("cell library cannot realize constants");
+        }
+        continue;
+      }
+      default:
+        break;
+    }
+
+    const NodeId a = map[nl.fanin0(id)];
+    const NodeId b = nl.arity(id) == 2 ? map[nl.fanin1(id)] : kInvalidNode;
+    if (lib.supports(op)) {
+      map[id] = out.add_gate(op, a, b);
+      continue;
+    }
+    // Expand an unsupported op via its complement (every op's complement or
+    // its NOT-expansion is in any sane library; both default libraries
+    // support all of AND/OR/XOR + NOT).
+    const GateOp comp = gate_complement(op);
+    if (gate_arity(op) == 1) {
+      // op is kBuf or kNot and unsupported: only possible for exotic custom
+      // libraries; realize buf as not(not(x)).
+      if (op == GateOp::kBuf) {
+        map[id] = emit_not(emit_not(a));
+      } else {
+        throw CompileError("cell library must support NOT");
+      }
+      continue;
+    }
+    if (!lib.supports(comp)) {
+      throw CompileError(std::string("cell library supports neither ") +
+                         std::string(gate_name(op)) + " nor its complement");
+    }
+    map[id] = emit_not(out.add_gate(comp, a, b));
+  }
+
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    out.add_output(map[nl.outputs()[i]], nl.output_name(i));
+  }
+  return out;
+}
+
+}  // namespace lbnn

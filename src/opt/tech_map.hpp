@@ -1,0 +1,17 @@
+#pragma once
+
+#include "logic/cell_library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbnn {
+
+/// Rewrite the netlist so that every gate op is supported by `lib` ("map the
+/// circuit to a customized cell library", Sec. III). Unsupported complemented
+/// ops are expanded (NAND -> NOT(AND), ...). Residual constant nodes (a
+/// constant primary output is the only way they survive optimize()) are
+/// realized from the first primary input as XOR(x,x) / XNOR(x,x), since the
+/// LPU datapath has no constant source. Throws CompileError if the netlist
+/// has a constant output and no primary input.
+Netlist tech_map(const Netlist& nl, const CellLibrary& lib);
+
+}  // namespace lbnn

@@ -1,0 +1,58 @@
+#include "resources/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbnn::resources {
+
+ResourceEstimate estimate_lpu(const LpuConfig& cfg, const ResourceModelOptions& opt) {
+  const double n = cfg.n;
+  const double m = cfg.m;
+  const double w = cfg.effective_word_width();
+  const double log2m = std::log2(std::max(2.0, m));
+
+  ResourceEstimate r;
+
+  // ---- flip-flops -----------------------------------------------------------
+  // Snapshot registers: two word-wide input registers per LPE.
+  const double snapshot_ff = n * m * 2 * w;
+  // Switch pipeline cuts: the tsw-stage fabric registers the m-source word
+  // bus at a fraction of its cut points (coefficient calibrated to Table I).
+  const double pipe_ff = 1.22 * n * m * w;
+  // Per-LPE control/config registers plus queue pointers and the read
+  // address shift register.
+  const double ctrl_ff = 48.0 * n * m + 64.0 * n * cfg.tc();
+  r.flip_flops = snapshot_ff + pipe_ff + ctrl_ff;
+
+  // ---- LUTs -----------------------------------------------------------------
+  // LPE logic units: one configurable 2-input function per datapath bit;
+  // LUT6 fabric packs ~2 of them per LUT.
+  const double lpe_lut = 0.5 * n * m * w;
+  // Inter-LPV multicast fabric: word-sliced switch elements; element count
+  // grows as m*log2(2m) per LPV (copy-then-permute construction), with a
+  // packing coefficient calibrated to the prototype.
+  const double switch_lut = 0.37 * n * m * w * (log2m + 1.0);
+  // Queue addressing and buffer control.
+  const double ctrl_lut = 24.0 * n * m;
+  r.luts = lpe_lut + switch_lut + ctrl_lut;
+
+  // ---- BRAM -----------------------------------------------------------------
+  // Instruction queues: tc queues per LPV (one per pipeline stage, Fig. 6),
+  // each depth x (instruction bits / tc). Instruction bits: 2m route fields
+  // of (log2 m + 2) bits plus m LPE fields of 6 bits.
+  const double instr_bits = 2 * m * (log2m + 2.0) + m * 6.0;
+  const double queue_bits = n * opt.instruction_queue_depth * instr_bits;
+  // Input/output data buffers (double-buffered words) incl. the feedback
+  // region.
+  const double buffer_bits = 3.0 * opt.data_buffer_depth * w * 2.0;
+  r.bram_kb = (queue_bits + buffer_bits) / 1024.0;
+
+  // ---- clock ----------------------------------------------------------------
+  // The prototype closes 333 MHz at m = 64; wider LPVs deepen the switch
+  // fabric per pipeline stage and derate the clock mildly.
+  r.freq_mhz = 333.0 * std::min(1.0, std::pow(64.0 / m, 0.15));
+
+  return r;
+}
+
+}  // namespace lbnn::resources

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/lpu_config.hpp"
+
+namespace lbnn::resources {
+
+/// Xilinx VU9P device capacities (the paper's prototype target, available as
+/// the AWS EC2 F1 instance).
+struct Vu9pDevice {
+  static constexpr double kFlipFlops = 2'364'480;
+  static constexpr double kLuts = 1'182'240;
+  static constexpr double kBramKb = 77'760;  // 2160 BRAM36 tiles
+};
+
+/// Analytic FPGA resource model of an LPU (reproduces the structure of
+/// Table I). Component formulas scale with the architecture (snapshot
+/// registers n*m*2*word, pipeline cuts, LPE LUT bit-slices, switch elements,
+/// instruction queues n*tc*depth*width); the packing coefficients are
+/// calibrated so the paper's configuration (m=64, n=16, tsw=5) lands on the
+/// reported utilization — see EXPERIMENTS.md.
+struct ResourceEstimate {
+  double flip_flops = 0;
+  double luts = 0;
+  double bram_kb = 0;
+  double freq_mhz = 0;
+
+  double ff_pct() const { return 100.0 * flip_flops / Vu9pDevice::kFlipFlops; }
+  double lut_pct() const { return 100.0 * luts / Vu9pDevice::kLuts; }
+  double bram_pct() const { return 100.0 * bram_kb / Vu9pDevice::kBramKb; }
+};
+
+struct ResourceModelOptions {
+  std::uint32_t instruction_queue_depth = 528;
+  std::uint32_t data_buffer_depth = 512;
+};
+
+ResourceEstimate estimate_lpu(const LpuConfig& cfg,
+                              const ResourceModelOptions& opt = {});
+
+}  // namespace lbnn::resources

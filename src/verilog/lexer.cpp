@@ -1,0 +1,112 @@
+#include "verilog/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace lbnn::verilog {
+namespace {
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$'; }
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      if (i + 1 >= src.size()) throw ParseError("unterminated block comment", line, col);
+      advance(2);
+      continue;
+    }
+
+    const int tok_line = line;
+    const int tok_col = col;
+
+    if (c == '\\') {
+      // Escaped identifier: backslash up to whitespace.
+      std::size_t j = i + 1;
+      while (j < src.size() && !std::isspace(static_cast<unsigned char>(src[j]))) ++j;
+      out.push_back({TokKind::kIdent, std::string(src.substr(i + 1, j - i - 1)), tok_line, tok_col});
+      advance(j - i);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < src.size() && is_ident_char(src[j])) ++j;
+      out.push_back({TokKind::kIdent, std::string(src.substr(i, j - i)), tok_line, tok_col});
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      // Sized literal?  <size>'<base><digits>
+      if (j < src.size() && src[j] == '\'') {
+        std::size_t k = j + 1;
+        if (k >= src.size()) throw ParseError("truncated sized literal", tok_line, tok_col);
+        const char base = static_cast<char>(std::tolower(static_cast<unsigned char>(src[k])));
+        if (base != 'b' && base != 'd' && base != 'h') {
+          throw ParseError("unsupported literal base", tok_line, tok_col);
+        }
+        ++k;
+        std::size_t v = k;
+        while (v < src.size() && (std::isalnum(static_cast<unsigned char>(src[v])) || src[v] == '_')) ++v;
+        // Store "<size>'<base><digits>" verbatim; parser decodes.
+        out.push_back({TokKind::kSizedConst, std::string(src.substr(i, v - i)), tok_line, tok_col});
+        advance(v - i);
+        continue;
+      }
+      out.push_back({TokKind::kNumber, std::string(src.substr(i, j - i)), tok_line, tok_col});
+      advance(j - i);
+      continue;
+    }
+    if ((c == '~' && i + 1 < src.size() && src[i + 1] == '^') ||
+        (c == '^' && i + 1 < src.size() && src[i + 1] == '~')) {
+      out.push_back({TokKind::kXnorOp, std::string(src.substr(i, 2)), tok_line, tok_col});
+      advance(2);
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case '[': case ']': case ',': case ';': case '=':
+      case '~': case '&': case '|': case '^': case ':':
+        out.push_back({TokKind::kSymbol, std::string(1, c), tok_line, tok_col});
+        advance(1);
+        continue;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", tok_line, tok_col);
+    }
+  }
+  out.push_back({TokKind::kEof, "", line, col});
+  return out;
+}
+
+}  // namespace lbnn::verilog

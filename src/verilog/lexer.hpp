@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbnn::verilog {
+
+enum class TokKind {
+  kIdent,       ///< identifier or keyword
+  kNumber,      ///< plain decimal number
+  kSizedConst,  ///< sized literal like 1'b0 / 4'b0101 (value bits in `text` after the base)
+  kSymbol,      ///< single punctuation char: ( ) [ ] , ; = ~ & | ^ :
+  kXnorOp,      ///< ~^ or ^~
+  kEof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;  ///< identifier text, number text, or symbol char
+  int line = 1;
+  int column = 1;
+
+  bool is_symbol(char c) const { return kind == TokKind::kSymbol && text.size() == 1 && text[0] == c; }
+  bool is_ident(std::string_view s) const { return kind == TokKind::kIdent && text == s; }
+};
+
+/// Tokenize Verilog source. Strips // and /* */ comments. Throws ParseError
+/// on unrecognized characters.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace lbnn::verilog

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace lbnn::verilog {
+
+/// Result of parsing one Verilog module.
+struct ParsedModule {
+  std::string name;
+  Netlist netlist;
+};
+
+/// Parse a gate-level / dataflow Verilog module (the FFCL input format of the
+/// flow, Fig. 1).
+///
+/// Supported subset — what NullaNet/ABC-style netlist dumps use:
+///   * one `module ... endmodule` with plain or ANSI port lists
+///   * `input`/`output`/`wire` declarations, scalar or `[msb:lsb]` vectors
+///   * gate primitives: and/nand/or/nor/xor/xnor (n-ary), not/buf (2-port),
+///     with or without instance names
+///   * `assign lhs = expr;` with ~ & ^ ~^ | operators, parentheses,
+///     bit-selects and 1-bit literals (1'b0/1'b1/0/1)
+///
+/// Vector nets must be referenced bit-by-bit (`b[2]`). Names of vector bits
+/// appear in the netlist as `b[2]`. Combinational cycles, multiple drivers,
+/// and undriven non-input nets are rejected with ParseError.
+ParsedModule parse_module(std::string_view source);
+
+}  // namespace lbnn::verilog

@@ -1,0 +1,110 @@
+#include "verilog/writer.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace lbnn::verilog {
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), 'p');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_module(const Netlist& nl, const std::string& module_name) {
+  // Unique, sanitized port names.
+  std::unordered_set<std::string> used;
+  const auto unique_name = [&used](std::string base) {
+    std::string name = base;
+    int suffix = 1;
+    while (!used.insert(name).second) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    return name;
+  };
+
+  std::vector<std::string> in_names(nl.num_inputs());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) {
+    in_names[i] = unique_name(sanitize(nl.input_name(i)));
+  }
+  std::vector<std::string> out_names(nl.num_outputs());
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    out_names[i] = unique_name(sanitize(nl.output_name(i)));
+  }
+
+  std::ostringstream os;
+  os << "module " << sanitize(module_name) << "(";
+  bool first = true;
+  for (const auto& n : in_names) {
+    os << (first ? "" : ", ") << n;
+    first = false;
+  }
+  for (const auto& n : out_names) {
+    os << (first ? "" : ", ") << n;
+    first = false;
+  }
+  os << ");\n";
+  for (const auto& n : in_names) os << "  input " << n << ";\n";
+  for (const auto& n : out_names) os << "  output " << n << ";\n";
+
+  // Every non-input node gets an internal wire n<id>; inputs use port names.
+  std::vector<std::string> wire(nl.num_nodes());
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    if (nl.op(id) == GateOp::kInput) {
+      wire[id] = in_names[static_cast<std::size_t>(nl.input_index(id))];
+    } else {
+      wire[id] = "n" + std::to_string(id);
+      os << "  wire " << wire[id] << ";\n";
+    }
+  }
+
+  for (NodeId id = 0; id < nl.num_nodes(); ++id) {
+    switch (nl.op(id)) {
+      case GateOp::kInput:
+        break;
+      case GateOp::kConst0:
+        os << "  assign " << wire[id] << " = 1'b0;\n";
+        break;
+      case GateOp::kConst1:
+        os << "  assign " << wire[id] << " = 1'b1;\n";
+        break;
+      case GateOp::kBuf:
+      case GateOp::kNot:
+        os << "  " << gate_name(nl.op(id)) << " g" << id << "(" << wire[id]
+           << ", " << wire[nl.fanin0(id)] << ");\n";
+        break;
+      default:
+        os << "  " << gate_name(nl.op(id)) << " g" << id << "(" << wire[id]
+           << ", " << wire[nl.fanin0(id)] << ", " << wire[nl.fanin1(id)] << ");\n";
+        break;
+    }
+  }
+
+  for (std::size_t i = 0; i < nl.num_outputs(); ++i) {
+    const NodeId src = nl.outputs()[i];
+    // Outputs are separate nets fed by buf so that a node driving several
+    // outputs (or an input feeding an output directly) stays legal Verilog.
+    os << "  buf ob" << i << "(" << out_names[i] << ", " << wire[src] << ");\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace lbnn::verilog

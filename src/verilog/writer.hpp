@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace lbnn::verilog {
+
+/// Emit a Netlist as a structural Verilog module using only gate primitives
+/// (and a couple of constant assigns). Port names are sanitized to plain
+/// identifiers (`b[2]` becomes `b_2_`), internal nets are named `n<id>`.
+/// The output is parseable by parse_module, and the round trip preserves
+/// semantics (tested).
+std::string write_module(const Netlist& nl, const std::string& module_name);
+
+}  // namespace lbnn::verilog

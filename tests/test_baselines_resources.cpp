@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_models.hpp"
+#include "baselines/lpu_throughput.hpp"
+#include "resources/resource_model.hpp"
+
+namespace lbnn {
+namespace {
+
+using namespace baselines;
+
+TEST(Baselines, PublishedTable2ValuesPresent) {
+  const auto vgg = nn::vgg16();
+  EXPECT_DOUBLE_EQ(*mac_array(vgg).fps_published, 120.0);
+  EXPECT_DOUBLE_EQ(*nulla_dsp(vgg).fps_published, 330.0);
+  EXPECT_DOUBLE_EQ(*xnor_finn(vgg).fps_published, 830.0);
+  EXPECT_DOUBLE_EQ(*lpu_published("VGG16"), 103990.0);
+}
+
+TEST(Baselines, PublishedTable3ValuesPresent) {
+  EXPECT_DOUBLE_EQ(*logicnets(nn::nid()).fps_published, 95.24e6);
+  EXPECT_DOUBLE_EQ(*logicnets(nn::jsc_m()).fps_published, 2995e6);
+  EXPECT_DOUBLE_EQ(*finn_mvu(nn::nid()).fps_published, 49.58e6);
+  EXPECT_DOUBLE_EQ(*lpu_published("NID"), 8.39e6);
+}
+
+TEST(Baselines, ModeledOrderingOnVgg16) {
+  // The structural models must reproduce the paper's ordering:
+  // MAC < NullaDSP < XNOR on large CNNs.
+  const auto vgg = nn::vgg16();
+  const double mac = mac_array(vgg).fps_model;
+  const double dsp = nulla_dsp(vgg).fps_model;
+  const double xnor = xnor_finn(vgg).fps_model;
+  EXPECT_LT(mac, dsp);
+  EXPECT_LT(dsp, xnor);
+}
+
+TEST(Baselines, ModeledValuesInPublishedBallpark) {
+  // Within an order of magnitude of the published figures (the baselines are
+  // other papers' implementations; our models capture the bottleneck).
+  const auto vgg = nn::vgg16();
+  const auto check = [](const BaselineEstimate& e) {
+    ASSERT_TRUE(e.fps_published.has_value());
+    const double ratio = e.fps_model / *e.fps_published;
+    EXPECT_GT(ratio, 0.1) << e.accelerator;
+    EXPECT_LT(ratio, 10.0) << e.accelerator;
+  };
+  check(mac_array(vgg));
+  check(nulla_dsp(vgg));
+  check(xnor_finn(vgg));
+  check(logicnets(nn::nid()));
+  check(hls4ml(nn::jsc_l()));
+  check(finn_mvu(nn::nid()));
+}
+
+TEST(Baselines, TinyModelsAreOverheadBound) {
+  // LENET5 is tiny; its MAC fps must be overhead-limited (way below the
+  // compute-bound rate) — the effect that makes the LPU's advantage on small
+  // models so large in Table II.
+  const auto lenet = nn::lenet5();
+  const double fps = mac_array(lenet).fps_model;
+  EXPECT_LT(fps, 1.0 / (0.4e-3 * 4));  // at most ~1/(overhead) frames/s
+  EXPECT_GT(fps, 100.0);
+}
+
+TEST(LpuThroughput, CompileModelLayersProducesSchedules) {
+  nn::SynthOptions synth;
+  synth.max_neurons = 6;
+  synth.max_inputs = 24;
+  synth.fanin_cap = 8;
+  CompileOptions copts;
+  copts.lpu.m = 16;
+  copts.lpu.n = 8;
+  const auto layers = compile_model_layers(nn::jsc_m(), synth, copts, 1);
+  ASSERT_EQ(layers.size(), nn::jsc_m().layers.size());
+  for (const auto& l : layers) {
+    EXPECT_GT(l.wavefronts, 0u);
+  }
+  const double fps = lpu_frames_per_second(layers, copts.lpu);
+  EXPECT_GT(fps, 0.0);
+}
+
+TEST(LpuThroughput, MergingImprovesThroughput) {
+  nn::SynthOptions synth;
+  synth.max_neurons = 8;
+  synth.max_inputs = 32;
+  synth.fanin_cap = 12;
+  CompileOptions with;
+  with.lpu.m = 16;
+  with.lpu.n = 8;
+  CompileOptions without = with;
+  without.merge = false;
+  const auto merged = compile_model_layers(nn::jsc_m(), synth, with, 2);
+  const auto plain = compile_model_layers(nn::jsc_m(), synth, without, 2);
+  EXPECT_GT(lpu_frames_per_second(merged, with.lpu),
+            lpu_frames_per_second(plain, without.lpu) * 0.99);
+}
+
+TEST(Resources, DefaultConfigMatchesTable1) {
+  // Table I: FF 478K (20.2%), LUT 433K (36.7%), BRAM 12240Kb (15.8%),
+  // 333 MHz for m=64, n=16. Model must land within ~10% of each.
+  LpuConfig cfg;
+  const auto r = resources::estimate_lpu(cfg);
+  EXPECT_NEAR(r.flip_flops, 478e3, 48e3);
+  EXPECT_NEAR(r.luts, 433e3, 43e3);
+  EXPECT_NEAR(r.bram_kb, 12240, 1224);
+  EXPECT_NEAR(r.freq_mhz, 333.0, 1.0);
+  EXPECT_NEAR(r.ff_pct(), 20.2, 2.0);
+  EXPECT_NEAR(r.lut_pct(), 36.7, 3.7);
+  EXPECT_NEAR(r.bram_pct(), 15.8, 1.6);
+}
+
+TEST(Resources, ScalesWithArchitecture) {
+  LpuConfig small;
+  small.m = 16;
+  small.n = 8;
+  LpuConfig big;
+  big.m = 128;
+  big.n = 32;
+  const auto rs = resources::estimate_lpu(small);
+  const auto rb = resources::estimate_lpu(big);
+  EXPECT_LT(rs.flip_flops, rb.flip_flops);
+  EXPECT_LT(rs.luts, rb.luts);
+  EXPECT_LT(rs.bram_kb, rb.bram_kb);
+  EXPECT_GE(rs.freq_mhz, rb.freq_mhz);  // wider LPVs derate the clock
+}
+
+TEST(Resources, SnapshotRegistersDominateFlipFlops) {
+  LpuConfig cfg;
+  const auto r = resources::estimate_lpu(cfg);
+  const double snapshot = static_cast<double>(cfg.n) * cfg.m * 2 *
+                          cfg.effective_word_width();
+  EXPECT_GT(snapshot / r.flip_flops, 0.4);
+}
+
+}  // namespace
+}  // namespace lbnn

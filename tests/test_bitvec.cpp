@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace lbnn {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_EQ(v.num_words(), 0u);
+}
+
+TEST(BitVec, FillConstructor) {
+  BitVec zeros(130, false);
+  BitVec ones(130, true);
+  EXPECT_EQ(zeros.popcount(), 0u);
+  EXPECT_EQ(ones.popcount(), 130u);
+  EXPECT_EQ(ones.num_words(), 3u);
+}
+
+TEST(BitVec, TailBitsAreMasked) {
+  BitVec ones(70, true);
+  // Word 1 has only 6 live bits.
+  EXPECT_EQ(ones.word(1), (1ull << 6) - 1);
+}
+
+TEST(BitVec, SetGet) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+}
+
+TEST(BitVec, LogicOps) {
+  Rng rng(7);
+  const BitVec a = BitVec::random(200, rng);
+  const BitVec b = BitVec::random(200, rng);
+  const BitVec band = a & b;
+  const BitVec bor = a | b;
+  const BitVec bxor = a ^ b;
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(band.get(i), a.get(i) && b.get(i));
+    EXPECT_EQ(bor.get(i), a.get(i) || b.get(i));
+    EXPECT_EQ(bxor.get(i), a.get(i) != b.get(i));
+  }
+}
+
+TEST(BitVec, ComplementMasksTail) {
+  BitVec v(65, false);
+  const BitVec nv = ~v;
+  EXPECT_EQ(nv.popcount(), 65u);
+  EXPECT_EQ((~nv).popcount(), 0u);
+}
+
+TEST(BitVec, EqualityIncludesWidth) {
+  BitVec a(64, false);
+  BitVec b(65, false);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BitVec(64, false));
+}
+
+TEST(BitVec, DeMorgan) {
+  Rng rng(11);
+  const BitVec a = BitVec::random(128, rng);
+  const BitVec b = BitVec::random(128, rng);
+  EXPECT_EQ(~(a & b), (~a) | (~b));
+  EXPECT_EQ(~(a | b), (~a) & (~b));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BoundedDraw) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lbnn

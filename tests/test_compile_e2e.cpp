@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "verilog/parser.hpp"
+
+namespace lbnn {
+namespace {
+
+/// Compile `nl`, run the LPU simulator on random vectors, and compare with
+/// the reference netlist simulator. This is the central correctness property
+/// of the whole system.
+void expect_lpu_matches_reference(const Netlist& nl, const CompileOptions& opt,
+                                  int seed, std::size_t rounds = 3) {
+  const CompileResult res = compile(nl, opt);
+  LpuSimulator sim(res.program);
+  Rng rng(seed);
+  const std::size_t width = res.program.cfg.effective_word_width();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto in = random_inputs(nl, width, rng);
+    const auto expect = simulate(nl, in);
+    const auto got = sim.run(in);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t o = 0; o < expect.size(); ++o) {
+      ASSERT_EQ(expect[o], got[o]) << "PO " << o << " mismatch (seed " << seed << ")";
+    }
+  }
+}
+
+CompileOptions small_lpu(std::uint32_t m, std::uint32_t n) {
+  CompileOptions opt;
+  opt.lpu.m = m;
+  opt.lpu.n = n;
+  return opt;
+}
+
+TEST(CompileE2E, SingleGate) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, b), "y");
+  expect_lpu_matches_reference(nl, small_lpu(4, 4), 1);
+}
+
+TEST(CompileE2E, PassThroughWire) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_output(a, "y");
+  expect_lpu_matches_reference(nl, small_lpu(4, 4), 2);
+}
+
+TEST(CompileE2E, ConstantOutput) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_output(nl.add_gate(GateOp::kConst1), "y");
+  expect_lpu_matches_reference(nl, small_lpu(4, 4), 3);
+}
+
+TEST(CompileE2E, FullAdder) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId cin = nl.add_input("cin");
+  const NodeId axb = nl.add_gate(GateOp::kXor, a, b);
+  nl.add_output(nl.add_gate(GateOp::kXor, axb, cin), "s");
+  const NodeId ab = nl.add_gate(GateOp::kAnd, a, b);
+  const NodeId c2 = nl.add_gate(GateOp::kAnd, cin, axb);
+  nl.add_output(nl.add_gate(GateOp::kOr, ab, c2), "cout");
+  expect_lpu_matches_reference(nl, small_lpu(4, 4), 4);
+}
+
+TEST(CompileE2E, DeepTreeNeedsCirculation) {
+  // Tree over 64 leaves has depth 6; on a 4-LPV LPU it needs 2+ passes.
+  Rng gen(5);
+  const Netlist nl = random_tree(64, gen);
+  CompileOptions opt = small_lpu(8, 4);
+  const CompileResult res = compile(nl, opt);
+  EXPECT_GE(res.report.bands, 2u);
+  expect_lpu_matches_reference(nl, opt, 5);
+}
+
+TEST(CompileE2E, WideGridNeedsManyMfgs) {
+  Rng gen(6);
+  const Netlist nl = reconvergent_grid(24, 6, gen);
+  CompileOptions opt = small_lpu(8, 8);
+  const CompileResult res = compile(nl, opt);
+  EXPECT_GT(res.report.mfgs_after_merge, 4u);
+  expect_lpu_matches_reference(nl, opt, 6);
+}
+
+TEST(CompileE2E, MergingOnAndOffBothCorrect) {
+  Rng gen(7);
+  const Netlist nl = reconvergent_grid(16, 8, gen);
+  CompileOptions with = small_lpu(8, 8);
+  CompileOptions without = small_lpu(8, 8);
+  without.merge = false;
+  expect_lpu_matches_reference(nl, with, 7);
+  expect_lpu_matches_reference(nl, without, 7);
+  const auto rw = compile(nl, with);
+  const auto rwo = compile(nl, without);
+  EXPECT_LE(rw.report.mfgs_after_merge, rwo.report.mfgs_after_merge);
+  EXPECT_LE(rw.report.wavefronts, rwo.report.wavefronts);
+}
+
+TEST(CompileE2E, PaperStrictLibrary) {
+  Rng gen(8);
+  const Netlist nl = reconvergent_grid(10, 5, gen);
+  CompileOptions opt = small_lpu(8, 8);
+  opt.library = CellLibrary::paper_strict();
+  expect_lpu_matches_reference(nl, opt, 8);
+}
+
+TEST(CompileE2E, NoOptimizePath) {
+  Rng gen(9);
+  const Netlist nl = reconvergent_grid(8, 5, gen);
+  CompileOptions opt = small_lpu(8, 8);
+  opt.optimize = false;
+  expect_lpu_matches_reference(nl, opt, 9);
+}
+
+TEST(CompileE2E, VerilogSourceToLpu) {
+  const auto mod = verilog::parse_module(R"(
+    module mux4(s, d, y);
+      input [1:0] s;
+      input [3:0] d;
+      output y;
+      wire ns0, ns1, t0, t1, t2, t3, o01, o23;
+      not g0(ns0, s[0]);
+      not g1(ns1, s[1]);
+      and g2(t0, d[0], ns0, ns1);
+      and g3(t1, d[1], s[0], ns1);
+      and g4(t2, d[2], ns0, s[1]);
+      and g5(t3, d[3], s[0], s[1]);
+      or  g6(o01, t0, t1);
+      or  g7(o23, t2, t3);
+      or  g8(y, o01, o23);
+    endmodule
+  )");
+  expect_lpu_matches_reference(mod.netlist, small_lpu(4, 4), 10);
+}
+
+TEST(CompileE2E, ReportIsConsistent) {
+  Rng gen(11);
+  const Netlist nl = reconvergent_grid(12, 6, gen);
+  const CompileOptions opt = small_lpu(8, 8);
+  const CompileResult res = compile(nl, opt);
+  EXPECT_EQ(res.report.wavefronts, res.program.num_wavefronts);
+  EXPECT_GT(res.report.mfgs_before_merge, 0u);
+  EXPECT_EQ(res.report.effective_m, 8u);
+  EXPECT_GT(res.program.total_computes(), 0u);
+  std::ostringstream os;
+  res.program.disassemble(os, 4);
+  EXPECT_NE(os.str().find("memLoc 0:"), std::string::npos);
+}
+
+TEST(CompileE2E, RejectsDegenerateInputs) {
+  Netlist no_out;
+  no_out.add_input("a");
+  EXPECT_THROW(compile(no_out, small_lpu(4, 4)), CompileError);
+
+  Netlist no_in;
+  no_in.add_output(no_in.add_gate(GateOp::kConst0), "y");
+  EXPECT_THROW(compile(no_in, small_lpu(4, 4)), CompileError);
+
+  Netlist ok;
+  const NodeId a = ok.add_input("a");
+  ok.add_output(ok.add_gate(GateOp::kNot, a), "y");
+  EXPECT_THROW(compile(ok, small_lpu(4, 1)), CompileError);  // n < 2
+}
+
+TEST(CompileE2E, ThroughputMetrics) {
+  Rng gen(12);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  const CompileResult res = compile(nl, small_lpu(8, 8));
+  const Program& p = res.program;
+  EXPECT_EQ(p.macro_cycles(), p.num_wavefronts + p.cfg.n - 1);
+  EXPECT_EQ(p.clock_cycles(), p.macro_cycles() * p.cfg.tc());
+  EXPECT_GT(p.samples_per_second(), 0.0);
+}
+
+// The end-to-end property sweep: families x LPU shapes x seeds.
+struct E2EParam {
+  int family;
+  std::uint32_t m;
+  std::uint32_t n;
+  int seed;
+};
+
+class CompileE2EProperty : public ::testing::TestWithParam<E2EParam> {};
+
+TEST_P(CompileE2EProperty, LpuMatchesReference) {
+  const E2EParam p = GetParam();
+  Rng gen(p.seed);
+  Netlist nl;
+  switch (p.family) {
+    case 0: nl = random_tree(40, gen); break;
+    case 1: nl = reconvergent_grid(14, 9, gen); break;
+    default: {
+      RandomCircuitSpec spec;
+      spec.num_inputs = 12;
+      spec.num_gates = 260;
+      spec.num_outputs = 6;
+      spec.unary_fraction = 0.2;
+      nl = random_dag(spec, gen);
+      break;
+    }
+  }
+  expect_lpu_matches_reference(nl, small_lpu(p.m, p.n), p.seed + 1000, 2);
+}
+
+std::vector<E2EParam> e2e_params() {
+  std::vector<E2EParam> out;
+  int seed = 1;
+  const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+      {4, 4}, {8, 4}, {4, 8}, {16, 6}, {6, 16}};
+  for (const int family : {0, 1, 2}) {
+    for (const auto& [m, n] : shapes) {
+      for (int s = 0; s < 2; ++s) {
+        out.push_back({family, m, n, seed++});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompileE2EProperty, ::testing::ValuesIn(e2e_params()));
+
+}  // namespace
+}  // namespace lbnn

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "lpu/multi_lpu.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+
+namespace lbnn {
+namespace {
+
+CompileOptions small_lpu() {
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  return opt;
+}
+
+TEST(MultiLpu, ParallelMatchesReference) {
+  Rng gen(1);
+  const Netlist nl = reconvergent_grid(12, 6, gen);
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    const auto compiled = compile_parallel(nl, small_lpu(), k);
+    EXPECT_LE(compiled.members.size(), k);
+    Rng rng(10 + k);
+    for (int round = 0; round < 2; ++round) {
+      const auto in = random_inputs(nl, 32, rng);
+      EXPECT_EQ(run_parallel(compiled, in), simulate(nl, in)) << "k=" << k;
+    }
+  }
+}
+
+TEST(MultiLpu, ParallelCoversAllOutputsExactlyOnce) {
+  Rng gen(2);
+  const Netlist nl = reconvergent_grid(10, 5, gen);
+  const auto compiled = compile_parallel(nl, small_lpu(), 3);
+  std::vector<int> served(nl.num_outputs(), 0);
+  for (const auto& m : compiled.members) {
+    for (const std::uint32_t po : m.po_indices) ++served[po];
+  }
+  for (const int c : served) EXPECT_EQ(c, 1);
+}
+
+TEST(MultiLpu, ParallelImprovesInitiationInterval) {
+  // Splitting a wide network across LPUs shortens the slowest member's
+  // schedule versus the single-LPU schedule.
+  Rng gen(3);
+  const Netlist nl = reconvergent_grid(16, 6, gen);
+  const auto one = compile_parallel(nl, small_lpu(), 1);
+  const auto four = compile_parallel(nl, small_lpu(), 4);
+  EXPECT_LT(four.steady_state_interval_cycles(),
+            one.steady_state_interval_cycles());
+  EXPECT_GT(four.samples_per_second(), one.samples_per_second());
+}
+
+TEST(MultiLpu, LoadBalancingIsReasonable) {
+  Rng gen(4);
+  const Netlist nl = reconvergent_grid(12, 6, gen);
+  const auto compiled = compile_parallel(nl, small_lpu(), 4);
+  std::uint64_t min_w = UINT64_MAX, max_w = 0;
+  for (const auto& m : compiled.members) {
+    min_w = std::min<std::uint64_t>(min_w, m.program.num_wavefronts);
+    max_w = std::max<std::uint64_t>(max_w, m.program.num_wavefronts);
+  }
+  // LPT balancing: the heaviest member within 3x of the lightest.
+  EXPECT_LE(max_w, 3 * min_w);
+}
+
+TEST(MultiLpu, DegenerateConfigsRejected) {
+  Rng gen(5);
+  const Netlist nl = reconvergent_grid(6, 4, gen);
+  EXPECT_THROW(compile_parallel(nl, small_lpu(), 0), CompileError);
+  EXPECT_THROW(compile_parallel(nl, small_lpu(), 100), CompileError);
+  EXPECT_THROW(compile_series_equivalent(nl, small_lpu(), 0), CompileError);
+}
+
+TEST(MultiLpu, SeriesRemovesCirculation) {
+  // Depth-12 network on n=4: three circulation passes; a series-of-3
+  // assembly (equivalent n=12) runs it in one pass with fewer bubbles.
+  Rng gen(6);
+  const Netlist nl = random_tree(64, gen);  // depth 6 -> padded deeper
+  CompileOptions opt;
+  opt.lpu.m = 16;
+  opt.lpu.n = 4;
+  const CompileResult single = compile(nl, opt);
+  const CompileResult series = compile_series_equivalent(nl, opt, 2);
+  EXPECT_LT(series.report.bands, single.report.bands);
+  EXPECT_LE(series.report.bubbles, single.report.bubbles);
+  EXPECT_LT(series.program.steady_state_interval_cycles(),
+            single.program.steady_state_interval_cycles());
+}
+
+TEST(MultiLpu, SeriesEquivalentIsCorrect) {
+  Rng gen(7);
+  const Netlist nl = random_tree(48, gen);
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 4;
+  const CompileResult series = compile_series_equivalent(nl, opt, 3);
+  LpuSimulator sim(series.program);
+  Rng rng(8);
+  const auto in = random_inputs(nl, 32, rng);
+  EXPECT_EQ(sim.run(in), simulate(nl, in));
+}
+
+}  // namespace
+}  // namespace lbnn

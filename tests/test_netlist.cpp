@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/stats.hpp"
+
+namespace lbnn {
+namespace {
+
+Netlist full_adder() {
+  // s = a ^ b ^ cin; cout = ab | cin(a^b)
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId cin = nl.add_input("cin");
+  const NodeId axb = nl.add_gate(GateOp::kXor, a, b);
+  const NodeId s = nl.add_gate(GateOp::kXor, axb, cin);
+  const NodeId ab = nl.add_gate(GateOp::kAnd, a, b);
+  const NodeId c2 = nl.add_gate(GateOp::kAnd, cin, axb);
+  const NodeId cout = nl.add_gate(GateOp::kOr, ab, c2);
+  nl.add_output(s, "s");
+  nl.add_output(cout, "cout");
+  return nl;
+}
+
+TEST(Netlist, Construction) {
+  const Netlist nl = full_adder();
+  EXPECT_EQ(nl.num_inputs(), 3u);
+  EXPECT_EQ(nl.num_outputs(), 2u);
+  EXPECT_EQ(nl.num_gates(), 5u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, FullAdderTruthTable) {
+  const Netlist nl = full_adder();
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const auto out = simulate_scalar(nl, {a == 1, b == 1, c == 1});
+        const int sum = a + b + c;
+        EXPECT_EQ(out[0], (sum & 1) == 1) << a << b << c;
+        EXPECT_EQ(out[1], sum >= 2) << a << b << c;
+      }
+    }
+  }
+}
+
+TEST(Netlist, Levels) {
+  const Netlist nl = full_adder();
+  const auto lv = nl.levels();
+  EXPECT_EQ(lv[0], 0);  // input a
+  EXPECT_EQ(lv[3], 1);  // a^b
+  EXPECT_EQ(lv[4], 2);  // sum
+  EXPECT_EQ(nl.depth(), 3);  // cout = or(and, and(xor)) -> level 3
+}
+
+TEST(Netlist, FanoutCounts) {
+  const Netlist nl = full_adder();
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[0], 2u);  // a feeds xor and and
+  EXPECT_EQ(fo[3], 2u);  // a^b feeds sum xor and carry and
+}
+
+TEST(Netlist, InputIndex) {
+  const Netlist nl = full_adder();
+  EXPECT_EQ(nl.input_index(0), 0);
+  EXPECT_EQ(nl.input_index(2), 2);
+  EXPECT_EQ(nl.input_index(4), -1);
+}
+
+TEST(Netlist, GateArityChecksThrow) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateOp::kAnd, a), std::logic_error);
+  EXPECT_THROW(nl.add_gate(GateOp::kNot, a, a), std::logic_error);
+  EXPECT_THROW(nl.add_gate(GateOp::kAnd, a, 99), std::logic_error);
+}
+
+TEST(Netlist, BitParallelSimulationMatchesScalar) {
+  const Netlist nl = full_adder();
+  Rng rng(3);
+  const auto in = random_inputs(nl, 64, rng);
+  const auto out = simulate(nl, in);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    const auto scalar = simulate_scalar(
+        nl, {in[0].get(lane), in[1].get(lane), in[2].get(lane)});
+    EXPECT_EQ(out[0].get(lane), scalar[0]);
+    EXPECT_EQ(out[1].get(lane), scalar[1]);
+  }
+}
+
+TEST(Netlist, ConstantsSimulate) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c1 = nl.add_gate(GateOp::kConst1);
+  const NodeId x = nl.add_gate(GateOp::kXor, a, c1);
+  nl.add_output(x, "y");
+  const auto out0 = simulate_scalar(nl, {false});
+  const auto out1 = simulate_scalar(nl, {true});
+  EXPECT_TRUE(out0[0]);
+  EXPECT_FALSE(out1[0]);
+}
+
+TEST(Netlist, StatsProfile) {
+  const Netlist nl = full_adder();
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_EQ(s.num_gates, 5u);
+  EXPECT_EQ(s.depth, 3);
+  EXPECT_EQ(s.width_profile[0], 3u);  // three PIs
+  EXPECT_EQ(s.max_width, 3u);
+}
+
+TEST(RandomCircuits, DagIsValidAndDeterministic) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 10;
+  spec.num_gates = 100;
+  spec.num_outputs = 5;
+  Rng rng1(99), rng2(99);
+  const Netlist a = random_dag(spec, rng1);
+  const Netlist b = random_dag(spec, rng2);
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  Rng sim_rng(5);
+  EXPECT_TRUE(equivalent_random(a, b, 64, 4, sim_rng));
+}
+
+TEST(RandomCircuits, TreeHasSingleOutputAndLogDepth) {
+  Rng rng(1);
+  const Netlist t = random_tree(64, rng);
+  EXPECT_EQ(t.num_outputs(), 1u);
+  EXPECT_EQ(t.depth(), 6);  // perfectly balanced over 64 leaves
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(RandomCircuits, GridIsWide) {
+  Rng rng(1);
+  const Netlist g = reconvergent_grid(16, 5, rng);
+  EXPECT_EQ(g.num_outputs(), 16u);
+  EXPECT_EQ(g.depth(), 5);
+  EXPECT_EQ(g.num_gates(), 16u * 5u);
+}
+
+TEST(Simulate, EquivalentRandomDetectsDifference) {
+  Netlist a;
+  const NodeId ai = a.add_input("x");
+  a.add_output(a.add_gate(GateOp::kNot, ai), "y");
+  Netlist b;
+  const NodeId bi = b.add_input("x");
+  b.add_output(b.add_gate(GateOp::kBuf, bi), "y");
+  Rng rng(1);
+  EXPECT_FALSE(equivalent_random(a, b, 32, 2, rng));
+}
+
+}  // namespace
+}  // namespace lbnn

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include "netlist/simulate.hpp"
+#include "nn/bnn.hpp"
+#include "nn/dataset.hpp"
+#include "nn/logic_export.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/nullanet.hpp"
+#include "nn/quine_mccluskey.hpp"
+#include "nn/train.hpp"
+
+namespace lbnn::nn {
+namespace {
+
+std::vector<bool> pattern_of(std::uint32_t m, std::uint32_t k) {
+  std::vector<bool> x(k);
+  for (std::uint32_t i = 0; i < k; ++i) x[i] = (m >> i) & 1u;
+  return x;
+}
+
+TEST(Bnn, PopcountSemantics) {
+  BnnDense layer;
+  layer.in_features = 4;
+  layer.out_features = 1;
+  layer.weight_bits = {{true, true, false, false}};
+  layer.thresholds = {2};
+  // popcount(xnor(x, 1100)) over x=1010: matches at bit0(1==1), bit1(0!=1),
+  // bit2(1!=0 -> no wait bit2 of x=0? x=1010 LSB-first: x0=0,x1=1,x2=0,x3=1.
+  const std::vector<bool> x{false, true, false, true};
+  // xnor with w = {1,1,0,0}: (0==1)F (1==1)T (0==0)T (1==0)F -> popcount 2.
+  EXPECT_EQ(layer.popcounts(x)[0], 2);
+  EXPECT_TRUE(layer.forward(x)[0]);
+  layer.thresholds = {3};
+  EXPECT_FALSE(layer.forward(x)[0]);
+}
+
+TEST(Bnn, RandomLayerShapes) {
+  Rng rng(1);
+  const BnnDense layer = BnnDense::random(10, 7, rng);
+  EXPECT_EQ(layer.weight_bits.size(), 7u);
+  EXPECT_EQ(layer.weight_bits[0].size(), 10u);
+  const auto y = layer.forward(std::vector<bool>(10, true));
+  EXPECT_EQ(y.size(), 7u);
+}
+
+TEST(Bnn, ModelForwardAndPredict) {
+  Rng rng(2);
+  const BnnModel model = BnnModel::random({8, 6, 3}, rng);
+  const std::vector<bool> x{true, false, true, true, false, false, true, false};
+  const auto y = model.forward(x);
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_LT(model.predict(x), 3u);
+}
+
+TEST(LogicExport, PopcountCircuitExact) {
+  for (const std::size_t k : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    Netlist nl;
+    std::vector<NodeId> bits;
+    for (std::size_t i = 0; i < k; ++i) {
+      bits.push_back(nl.add_input("b" + std::to_string(i)));
+    }
+    const auto count = build_popcount(nl, bits);
+    for (const NodeId c : count) nl.add_output(c, "c");
+    for (std::uint32_t m = 0; m < (1u << k); ++m) {
+      const auto out = simulate_scalar(nl, pattern_of(m, static_cast<std::uint32_t>(k)));
+      std::uint32_t value = 0;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out[i]) value |= 1u << i;
+      }
+      EXPECT_EQ(value, static_cast<std::uint32_t>(std::popcount(m))) << "k=" << k;
+    }
+  }
+}
+
+TEST(LogicExport, GeConstComparator) {
+  constexpr std::uint32_t kBits = 4;
+  for (std::uint32_t t = 0; t <= 16; ++t) {
+    Netlist nl;
+    std::vector<NodeId> v;
+    for (std::uint32_t i = 0; i < kBits; ++i) {
+      v.push_back(nl.add_input("v" + std::to_string(i)));
+    }
+    nl.add_output(build_ge_const(nl, v, t), "ge");
+    for (std::uint32_t x = 0; x < 16; ++x) {
+      const auto out = simulate_scalar(nl, pattern_of(x, kBits));
+      EXPECT_EQ(out[0], x >= t) << "x=" << x << " t=" << t;
+    }
+  }
+}
+
+TEST(LogicExport, NeuronMatchesIntegerExhaustive) {
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t k = 2 + rng.next_below(7);
+    BnnDense layer = BnnDense::random(k, 1, rng);
+    layer.thresholds[0] = static_cast<std::int32_t>(rng.next_below(k + 2));
+    const Netlist nl = layer_to_netlist(layer);
+    for (std::uint32_t m = 0; m < (1u << k); ++m) {
+      const auto x = pattern_of(m, static_cast<std::uint32_t>(k));
+      EXPECT_EQ(simulate_scalar(nl, x)[0], layer.forward(x)[0])
+          << "trial " << trial << " k " << k << " m " << m;
+    }
+  }
+}
+
+TEST(LogicExport, LargeFaninNeuronRandomVectors) {
+  Rng rng(4);
+  BnnDense layer = BnnDense::random(100, 3, rng);
+  const Netlist nl = layer_to_netlist(layer);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<bool> x(100);
+    for (auto&& b : x) b = rng.next_bool();
+    const auto want = layer.forward(x);
+    const auto got = simulate_scalar(nl, x);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(got[j], want[j]);
+  }
+}
+
+TEST(LogicExport, WholeModelMatchesIntegerInference) {
+  Rng rng(5);
+  const BnnModel model = BnnModel::random({12, 8, 4}, rng);
+  const Netlist nl = model_to_netlist(model);
+  EXPECT_EQ(nl.num_inputs(), 12u);
+  EXPECT_EQ(nl.num_outputs(), 4u);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<bool> x(12);
+    for (auto&& b : x) b = rng.next_bool();
+    const auto want = model.forward(x);
+    const auto got = simulate_scalar(nl, x);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(got[j], want[j]);
+  }
+}
+
+TEST(QuineMcCluskey, MinimizesKnownFunction) {
+  // f = sum m(0,1,2,5,6,7) over 3 vars -> classic example, 3 primes suffice.
+  const auto cover = minimize_qm(3, {0, 1, 2, 5, 6, 7}, {});
+  for (std::uint32_t x = 0; x < 8; ++x) {
+    const bool want = x == 0 || x == 1 || x == 2 || x == 5 || x == 6 || x == 7;
+    EXPECT_EQ(cover_eval(cover, x), want) << x;
+  }
+  EXPECT_LE(cover.size(), 4u);
+}
+
+TEST(QuineMcCluskey, DontCaresShrinkCover) {
+  // On-set {1}, dc {0,2,3}: a single tautology-ish implicant can cover.
+  const auto with_dc = minimize_qm(2, {1}, {0, 2, 3});
+  const auto without = minimize_qm(2, {1}, {});
+  EXPECT_LE(with_dc.size(), without.size());
+  EXPECT_TRUE(cover_eval(with_dc, 1));
+}
+
+TEST(QuineMcCluskey, EmptyOnSet) {
+  EXPECT_TRUE(minimize_qm(4, {}, {1, 2, 3}).empty());
+}
+
+TEST(QuineMcCluskey, FullOnSetIsTautology) {
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t m = 0; m < 16; ++m) all.push_back(m);
+  const auto cover = minimize_qm(4, all, {});
+  EXPECT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].mask, 0xFu);
+}
+
+class QmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QmProperty, CoverMatchesRandomTruthTables) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::uint32_t k = 3 + static_cast<std::uint32_t>(rng.next_below(5));  // 3..7
+  std::vector<std::uint32_t> on, dc;
+  std::vector<int> kind(1u << k);  // 0 off, 1 on, 2 dc
+  for (std::uint32_t m = 0; m < (1u << k); ++m) {
+    const auto r = rng.next_below(4);
+    kind[m] = r == 0 ? 1 : (r == 1 ? 2 : 0);
+    if (kind[m] == 1) on.push_back(m);
+    if (kind[m] == 2) dc.push_back(m);
+  }
+  const auto cover = minimize_qm(k, on, dc);
+  for (std::uint32_t m = 0; m < (1u << k); ++m) {
+    if (kind[m] == 1) {
+      EXPECT_TRUE(cover_eval(cover, m)) << m;
+    }
+    if (kind[m] == 0) {
+      EXPECT_FALSE(cover_eval(cover, m)) << m;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QmProperty, ::testing::Range(1, 21));
+
+TEST(NullaNet, ExactTableMatchesNeuron) {
+  Rng rng(6);
+  BnnDense layer = BnnDense::random(6, 2, rng);
+  const TruthTable t = neuron_truth_table(layer, 1);
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    EXPECT_EQ(t.on[m], layer.forward(pattern_of(m, 6))[1]);
+    EXPECT_TRUE(t.care[m]);
+  }
+}
+
+TEST(NullaNet, SynthesizedSopMatchesTable) {
+  Rng rng(7);
+  BnnDense layer = BnnDense::random(7, 1, rng);
+  const TruthTable t = neuron_truth_table(layer, 0);
+  const Netlist nl = synthesize_sop(t);
+  for (std::uint32_t m = 0; m < (1u << 7); ++m) {
+    EXPECT_EQ(simulate_scalar(nl, pattern_of(m, 7))[0], t.on[m]) << m;
+  }
+}
+
+TEST(NullaNet, ObservedTableUsesDontCares) {
+  Rng rng(8);
+  BnnDense layer = BnnDense::random(8, 1, rng);
+  // Observe only 20 patterns; the minimized cover must match on those.
+  std::vector<std::vector<bool>> observed;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<bool> x(8);
+    for (auto&& b : x) b = rng.next_bool();
+    observed.push_back(std::move(x));
+  }
+  const TruthTable t = observed_truth_table(layer, 0, observed);
+  const Netlist nl = synthesize_sop(t);
+  for (const auto& x : observed) {
+    EXPECT_EQ(simulate_scalar(nl, x)[0], layer.forward(x)[0]);
+  }
+  // Don't-care freedom should not increase literal cost beyond the exact one.
+  const Netlist exact = synthesize_sop(neuron_truth_table(layer, 0));
+  EXPECT_LE(nl.num_gates(), exact.num_gates());
+}
+
+TEST(NullaNet, LayerSynthesisMatchesForward) {
+  Rng rng(9);
+  BnnDense layer = BnnDense::random(6, 4, rng);
+  const Netlist nl = nullanet_layer(layer);
+  EXPECT_EQ(nl.num_outputs(), 4u);
+  for (std::uint32_t m = 0; m < 64; ++m) {
+    const auto x = pattern_of(m, 6);
+    const auto want = layer.forward(x);
+    const auto got = simulate_scalar(nl, x);
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(got[j], want[j]) << m;
+  }
+}
+
+TEST(Train, LearnsBlobs) {
+  Rng rng(10);
+  Dataset ds = make_blobs(16, 2, 60, 0.08, rng);
+  TrainOptions opt;
+  opt.epochs = 25;
+  opt.seed = 3;
+  const TrainResult res = train_bnn(ds, {16, 8, 2}, opt);
+  EXPECT_GE(res.train_accuracy, 0.85) << "BNN failed to learn separable blobs";
+}
+
+TEST(Train, TrainedModelExportsToEquivalentLogic) {
+  Rng rng(11);
+  Dataset ds = make_blobs(10, 2, 40, 0.05, rng);
+  TrainOptions opt;
+  opt.epochs = 20;
+  opt.seed = 4;
+  const TrainResult res = train_bnn(ds, {10, 6, 2}, opt);
+  const Netlist nl = model_to_netlist(res.model);
+  for (std::size_t s = 0; s < ds.size(); s += 7) {
+    const auto want = res.model.forward(ds.samples[s]);
+    const auto got = simulate_scalar(nl, ds.samples[s]);
+    for (std::size_t j = 0; j < want.size(); ++j) EXPECT_EQ(got[j], want[j]);
+  }
+}
+
+TEST(Train, AccuracyHelperAgreesWithPredict) {
+  Rng rng(12);
+  Dataset ds = make_blobs(8, 2, 10, 0.0, rng);
+  const BnnModel model = BnnModel::random({8, 4, 2}, rng);
+  const double acc = accuracy(model, ds);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Dataset, BlobsAreClassStructured) {
+  Rng rng(13);
+  const Dataset ds = make_blobs(12, 3, 15, 0.0, rng);
+  EXPECT_EQ(ds.size(), 45u);
+  EXPECT_EQ(ds.num_classes, 3u);
+  // Noise-free blobs: samples within a class are identical.
+  EXPECT_EQ(ds.samples[0], ds.samples[1]);
+}
+
+TEST(Dataset, SubsetParityLabels) {
+  Rng rng(14);
+  const Dataset ds = make_subset_parity(10, 3, 200, rng);
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    bool p = false;
+    for (std::size_t i = 0; i < 3; ++i) p ^= ds.samples[s][i];
+    EXPECT_EQ(ds.labels[s], p ? 1u : 0u);
+  }
+}
+
+TEST(ModelZoo, AllModelsWellFormed) {
+  for (const auto& model : all_models()) {
+    EXPECT_FALSE(model.layers.empty()) << model.name;
+    for (const auto& l : model.layers) {
+      EXPECT_GT(l.in_features, 0u) << model.name << "/" << l.name;
+      EXPECT_GT(l.out_neurons, 0u);
+      EXPECT_GT(l.positions, 0u);
+    }
+    EXPECT_GT(model.macs_per_frame(), 0.0);
+  }
+}
+
+TEST(ModelZoo, Vgg16Shape) {
+  const ModelDesc m = vgg16();
+  EXPECT_EQ(m.layers.size(), 12u);  // conv2..conv13
+  EXPECT_EQ(m.layers.front().in_features, 64u * 9u);
+  EXPECT_EQ(m.layers.back().positions, 14u * 14u);
+  // VGG16 convs 2-13 are ~15G MACs.
+  EXPECT_GT(m.macs_per_frame(), 1e10);
+  EXPECT_LT(m.macs_per_frame(), 2e10);
+}
+
+TEST(ModelZoo, NidUses593Features) {
+  EXPECT_EQ(nid().layers.front().in_features, 593u);
+  EXPECT_EQ(nid().layers.back().out_neurons, 2u);
+}
+
+TEST(ModelZoo, SynthesizedLayerIsExactNeuronLogic) {
+  Rng rng(15);
+  SynthOptions opt;
+  opt.max_neurons = 4;
+  opt.max_inputs = 20;
+  opt.fanin_cap = 10;
+  const LayerWorkload wl = synthesize_layer_ffcl(jsc_m().layers[0], opt, rng);
+  EXPECT_EQ(wl.ffcl.num_outputs(), 4u);
+  EXPECT_LE(wl.ffcl.num_inputs(), 20u);
+  EXPECT_NO_THROW(wl.ffcl.validate());
+}
+
+TEST(ModelZoo, ScalingIsDeterministicPerSeed) {
+  SynthOptions opt;
+  Rng a(42), b(42);
+  const LayerWorkload w1 = synthesize_layer_ffcl(vgg16().layers[0], opt, a);
+  const LayerWorkload w2 = synthesize_layer_ffcl(vgg16().layers[0], opt, b);
+  EXPECT_EQ(w1.ffcl.num_nodes(), w2.ffcl.num_nodes());
+}
+
+}  // namespace
+}  // namespace lbnn::nn

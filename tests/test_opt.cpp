@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/stats.hpp"
+#include "opt/passes.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace lbnn {
+namespace {
+
+TEST(Optimize, ConstantFoldingTotal) {
+  Netlist nl;
+  nl.add_input("a");
+  const NodeId c0 = nl.add_gate(GateOp::kConst0);
+  const NodeId c1 = nl.add_gate(GateOp::kConst1);
+  const NodeId x = nl.add_gate(GateOp::kAnd, c0, c1);
+  const NodeId y = nl.add_gate(GateOp::kOr, x, c1);
+  nl.add_output(y, "y");
+  const Netlist opt = optimize(nl);
+  // y == 1 constantly.
+  EXPECT_TRUE(simulate_scalar(opt, {false})[0]);
+  EXPECT_TRUE(simulate_scalar(opt, {true})[0]);
+  EXPECT_LE(opt.num_gates(), 1u);
+}
+
+TEST(Optimize, PartialConstantFolding) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c1 = nl.add_gate(GateOp::kConst1);
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, c1), "y0");   // = a
+  nl.add_output(nl.add_gate(GateOp::kXor, a, c1), "y1");   // = ~a
+  nl.add_output(nl.add_gate(GateOp::kNand, a, c1), "y2");  // = ~a
+  const Netlist opt = optimize(nl);
+  Rng rng(1);
+  EXPECT_TRUE(equivalent_random(nl, opt, 32, 4, rng));
+  EXPECT_LE(opt.num_gates(), 1u);  // one shared NOT
+}
+
+TEST(Optimize, IdempotentAndComplementIdentities) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId na = nl.add_gate(GateOp::kNot, a);
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, a), "aa");     // = a
+  nl.add_output(nl.add_gate(GateOp::kXor, a, a), "xx");     // = 0
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, na), "an");    // = 0
+  nl.add_output(nl.add_gate(GateOp::kOr, a, na), "on");     // = 1
+  nl.add_output(nl.add_gate(GateOp::kXnor, a, na), "xn");   // = 0
+  const Netlist opt = optimize(nl);
+  Rng rng(1);
+  EXPECT_TRUE(equivalent_random(nl, opt, 32, 4, rng));
+}
+
+TEST(Optimize, DoubleNegationCollapses) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n1 = nl.add_gate(GateOp::kNot, a);
+  const NodeId n2 = nl.add_gate(GateOp::kNot, n1);
+  const NodeId n3 = nl.add_gate(GateOp::kNot, n2);
+  nl.add_output(n3, "y");
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.num_gates(), 1u);  // single NOT
+}
+
+TEST(Optimize, BufferChainsCollapse) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  NodeId cur = a;
+  for (int i = 0; i < 10; ++i) cur = nl.add_gate(GateOp::kBuf, cur);
+  nl.add_output(cur, "y");
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.num_gates(), 0u);  // output aliases the input
+}
+
+TEST(Optimize, StructuralHashingSharesDuplicates) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x1 = nl.add_gate(GateOp::kAnd, a, b);
+  const NodeId x2 = nl.add_gate(GateOp::kAnd, b, a);  // commutative duplicate
+  nl.add_output(nl.add_gate(GateOp::kXor, x1, x2), "y");
+  const Netlist opt = optimize(nl);
+  // xor(x, x) = 0 -> constant output realized... constant stays until tech_map.
+  EXPECT_FALSE(simulate_scalar(opt, {true, true})[0]);
+  EXPECT_FALSE(simulate_scalar(opt, {true, false})[0]);
+}
+
+TEST(Optimize, DeadGateElimination) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.add_gate(GateOp::kXor, a, b);  // dead
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, b), "y");
+  const Netlist opt = eliminate_dead(nl);
+  EXPECT_EQ(opt.num_gates(), 1u);
+  EXPECT_EQ(opt.num_inputs(), 2u);  // interface preserved
+}
+
+TEST(Optimize, ReportsStats) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  NodeId cur = a;
+  for (int i = 0; i < 4; ++i) cur = nl.add_gate(GateOp::kBuf, cur);
+  nl.add_output(cur, "y");
+  OptStats stats;
+  optimize(nl, &stats);
+  EXPECT_EQ(stats.gates_before, 4u);
+  EXPECT_EQ(stats.gates_after, 0u);
+  EXPECT_GE(stats.rewrite_iterations, 1u);
+}
+
+// Property: optimize() preserves semantics on random circuit families.
+class OptimizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizeProperty, PreservesSemanticsOnRandomDags) {
+  const int seed = GetParam();
+  RandomCircuitSpec spec;
+  spec.num_inputs = 10;
+  spec.num_gates = 300;
+  spec.num_outputs = 8;
+  spec.unary_fraction = 0.25;
+  Rng gen(seed);
+  const Netlist nl = random_dag(spec, gen);
+  const Netlist opt = optimize(nl);
+  Rng rng(seed * 31 + 1);
+  EXPECT_TRUE(equivalent_random(nl, opt, 128, 4, rng));
+  EXPECT_LE(opt.num_gates(), nl.num_gates());
+}
+
+TEST_P(OptimizeProperty, PreservesSemanticsOnGrids) {
+  const int seed = GetParam();
+  Rng gen(seed);
+  const Netlist nl = reconvergent_grid(12, 6, gen);
+  const Netlist opt = optimize(nl);
+  Rng rng(seed * 17 + 3);
+  EXPECT_TRUE(equivalent_random(nl, opt, 128, 4, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizeProperty, ::testing::Range(1, 13));
+
+TEST(TechMap, PaperStrictLibraryRemovesNandNor) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.add_output(nl.add_gate(GateOp::kNand, a, b), "y0");
+  nl.add_output(nl.add_gate(GateOp::kNor, a, b), "y1");
+  const Netlist mapped = tech_map(nl, CellLibrary::paper_strict());
+  for (NodeId id = 0; id < mapped.num_nodes(); ++id) {
+    EXPECT_NE(mapped.op(id), GateOp::kNand);
+    EXPECT_NE(mapped.op(id), GateOp::kNor);
+  }
+  Rng rng(1);
+  EXPECT_TRUE(equivalent_random(nl, mapped, 32, 4, rng));
+}
+
+TEST(TechMap, ConstantsRealizedFromAnInput) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_output(nl.add_gate(GateOp::kConst1), "y");
+  const Netlist mapped = tech_map(nl, CellLibrary::lut4_full());
+  EXPECT_TRUE(simulate_scalar(mapped, {false})[0]);
+  EXPECT_TRUE(simulate_scalar(mapped, {true})[0]);
+  for (NodeId id = 0; id < mapped.num_nodes(); ++id) {
+    EXPECT_NE(mapped.op(id), GateOp::kConst1);
+  }
+}
+
+TEST(TechMap, FullLibraryIsIdentityOnSupportedOps) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.add_output(nl.add_gate(GateOp::kNand, a, b), "y");
+  const Netlist mapped = tech_map(nl, CellLibrary::lut4_full());
+  EXPECT_EQ(mapped.num_gates(), nl.num_gates());
+}
+
+TEST(PathBalance, InsertsSharedChains) {
+  // a feeds consumers at levels 1 and 3: one shared chain, tapped twice.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId l1 = nl.add_gate(GateOp::kAnd, a, b);
+  const NodeId l2 = nl.add_gate(GateOp::kOr, l1, b);
+  const NodeId l3 = nl.add_gate(GateOp::kXor, l2, a);  // a crosses 2 levels
+  nl.add_output(l3, "y");
+  const Netlist bal = balance_paths(nl);
+  EXPECT_TRUE(is_path_balanced(bal));
+  Rng rng(1);
+  EXPECT_TRUE(equivalent_random(nl, bal, 32, 4, rng));
+  const NetlistStats s = compute_stats(bal);
+  // b crosses one extra level (into l2), a crosses two (into l3):
+  // chain sharing keeps it at 3 buffers total.
+  EXPECT_EQ(s.num_buffers, 3u);
+}
+
+TEST(PathBalance, OutputsAlignToLmax) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId shallow = nl.add_gate(GateOp::kAnd, a, b);           // level 1
+  const NodeId deep = nl.add_gate(GateOp::kOr, shallow, b);         // level 2
+  const NodeId deeper = nl.add_gate(GateOp::kXor, deep, shallow);   // level 3
+  nl.add_output(shallow, "s");
+  nl.add_output(deeper, "d");
+  const Netlist bal = balance_paths(nl);
+  EXPECT_TRUE(is_path_balanced(bal));
+  const auto lv = bal.levels();
+  for (const NodeId o : bal.outputs()) EXPECT_EQ(lv[o], 3);
+}
+
+TEST(PathBalance, PadOutputsTo) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.add_output(nl.add_gate(GateOp::kNot, a), "y");
+  const Netlist bal = balance_paths(nl, 7);
+  EXPECT_TRUE(is_path_balanced(bal));
+  EXPECT_EQ(bal.depth(), 7);
+  Rng rng(1);
+  EXPECT_TRUE(equivalent_random(nl, bal, 32, 2, rng));
+}
+
+TEST(PathBalance, AlreadyBalancedIsNoop) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  nl.add_output(nl.add_gate(GateOp::kAnd, a, b), "y");
+  const Netlist bal = balance_paths(nl);
+  EXPECT_EQ(bal.num_gates(), 1u);
+}
+
+class PathBalanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathBalanceProperty, BalancedAndEquivalent) {
+  const int seed = GetParam();
+  RandomCircuitSpec spec;
+  spec.num_inputs = 12;
+  spec.num_gates = 250;
+  spec.num_outputs = 6;
+  Rng gen(seed);
+  const Netlist nl = random_dag(spec, gen);
+  const Netlist bal = balance_paths(nl);
+  EXPECT_TRUE(is_path_balanced(bal));
+  Rng rng(seed + 100);
+  EXPECT_TRUE(equivalent_random(nl, bal, 64, 3, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathBalanceProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace lbnn

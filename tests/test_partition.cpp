@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "core/mfg.hpp"
+#include "netlist/random_circuits.hpp"
+#include "opt/passes.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace lbnn {
+namespace {
+
+Netlist prepared(Netlist nl) {
+  nl = optimize(nl);
+  nl = tech_map(nl, CellLibrary::lut4_full());
+  nl = eliminate_dead(nl);
+  return balance_paths(nl);
+}
+
+TEST(FindMfg, SingleGateCone) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateOp::kAnd, a, b);
+  nl.add_output(g, "y");
+  const auto levels = nl.levels();
+  PartitionOptions opt;
+  opt.m = 8;
+  const Mfg mfg = find_mfg(nl, levels, g, opt);
+  // Small cone: reaches the PIs, so bottom = 0 and PIs are members.
+  EXPECT_EQ(mfg.bottom, 0);
+  EXPECT_EQ(mfg.top, 1);
+  EXPECT_EQ(mfg.num_nodes(), 3u);
+  EXPECT_TRUE(mfg.external_inputs.empty());
+}
+
+TEST(FindMfg, StopsAtWideLevel) {
+  // Balanced tree over 16 leaves: levels sizes 16,8,4,2,1 upward.
+  Rng rng(1);
+  Netlist nl = prepared(random_tree(16, rng));
+  const auto levels = nl.levels();
+  const NodeId root = nl.outputs()[0];
+  PartitionOptions opt;
+  opt.m = 4;  // level with >= 4 nodes is a stop level
+  const Mfg mfg = find_mfg(nl, levels, root, opt);
+  EXPECT_EQ(mfg.top, levels[root]);
+  // Root level 1 node, below 2, below 4 -> stop at the 4-wide level.
+  EXPECT_EQ(mfg.levels.back().size(), 1u);
+  EXPECT_EQ(mfg.levels.front().size(), 2u);
+  EXPECT_EQ(mfg.external_inputs.size(), 4u);
+  EXPECT_LT(mfg.max_width(), 4u);
+}
+
+TEST(FindMfg, RespectsBandBoundary) {
+  Rng rng(2);
+  Netlist nl = prepared(random_tree(64, rng));  // depth 6
+  const auto levels = nl.levels();
+  PartitionOptions opt;
+  opt.m = 64;   // width never stops it
+  opt.band = 4; // but bands do
+  const NodeId root = nl.outputs()[0];
+  const Mfg mfg = find_mfg(nl, levels, root, opt);
+  EXPECT_EQ(mfg.top, 6);
+  EXPECT_EQ(mfg.bottom, 4);
+  EXPECT_FALSE(mfg.external_inputs.empty());
+}
+
+TEST(Partition, CoversNetworkAndRespectsConditions) {
+  Rng rng(3);
+  Netlist nl = prepared(reconvergent_grid(12, 6, rng));
+  PartitionOptions opt;
+  opt.m = 6;
+  MfgForest forest = partition(nl, opt);
+  EXPECT_GT(forest.num_alive(), 1u);
+  EXPECT_NO_THROW(forest.check_invariants(opt.m));
+}
+
+TEST(Partition, Condition4HoldsUnbanded) {
+  // Pre-merge, without band cuts: every MFG with bottom > 0 stopped because
+  // the level below had >= m nodes.
+  Rng rng(4);
+  Netlist nl = prepared(reconvergent_grid(10, 8, rng));
+  PartitionOptions opt;
+  opt.m = 5;
+  MfgForest forest = partition(nl, opt);
+  for (const MfgId id : forest.alive_ids()) {
+    const Mfg& g = forest.at(id);
+    if (g.bottom == 0) {
+      EXPECT_TRUE(g.external_inputs.empty());
+    } else {
+      EXPECT_GE(g.external_inputs.size(), opt.m);
+    }
+  }
+}
+
+TEST(Partition, EveryExternalInputHasProducer) {
+  Rng rng(5);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 16;
+  spec.num_gates = 400;
+  spec.num_outputs = 8;
+  Netlist nl = prepared(random_dag(spec, rng));
+  PartitionOptions opt;
+  opt.m = 8;
+  MfgForest forest = partition(nl, opt);
+  for (const MfgId id : forest.alive_ids()) {
+    for (const NodeId in : forest.at(id).external_inputs) {
+      EXPECT_TRUE(forest.has_producer(in));
+      const Mfg& child = forest.at(forest.producer_of(in));
+      EXPECT_EQ(child.top + 1, forest.at(id).bottom);
+    }
+  }
+}
+
+TEST(Merge, ReducesMfgCountAndKeepsInvariants) {
+  Rng rng(6);
+  Netlist nl = prepared(reconvergent_grid(12, 8, rng));
+  PartitionOptions opt;
+  opt.m = 6;
+  MfgForest forest = partition(nl, opt);
+  const std::size_t before = forest.num_alive();
+  const std::size_t merges = merge_mfgs(forest, opt.m);
+  EXPECT_GT(merges, 0u);
+  EXPECT_EQ(forest.num_alive(), before - merges);
+  EXPECT_NO_THROW(forest.check_invariants(opt.m));
+}
+
+TEST(Merge, NeverMergesDifferentBottoms) {
+  Rng rng(7);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 14;
+  spec.num_gates = 350;
+  spec.num_outputs = 6;
+  Netlist nl = prepared(random_dag(spec, rng));
+  PartitionOptions opt;
+  opt.m = 7;
+  MfgForest forest = partition(nl, opt);
+  merge_mfgs(forest, opt.m);
+  // check_invariants verifies aligned levels; additionally verify widths.
+  for (const MfgId id : forest.alive_ids()) {
+    EXPECT_LE(forest.at(id).max_width(), opt.m);
+  }
+}
+
+TEST(Merge, SingleOutputLoadsMergeToWideLoads) {
+  // A single wide AND-reduction over 32 inputs with m=8: partitioning makes
+  // per-PI load MFGs; merging should pack them m-wide.
+  Rng rng(8);
+  Netlist nl = prepared(random_tree(32, rng));
+  PartitionOptions opt;
+  opt.m = 8;
+  MfgForest forest = partition(nl, opt);
+  const std::size_t before = forest.num_alive();
+  merge_mfgs(forest, opt.m);
+  EXPECT_LT(forest.num_alive(), before);
+  EXPECT_NO_THROW(forest.check_invariants(opt.m));
+}
+
+class PartitionProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionProperty, InvariantsAcrossFamiliesAndWidths) {
+  const auto [seed, m] = GetParam();
+  Rng rng(seed);
+  Netlist nl;
+  switch (seed % 3) {
+    case 0: nl = prepared(random_tree(48, rng)); break;
+    case 1: nl = prepared(reconvergent_grid(10, 7, rng)); break;
+    default: {
+      RandomCircuitSpec spec;
+      spec.num_inputs = 12;
+      spec.num_gates = 300;
+      spec.num_outputs = 5;
+      nl = prepared(random_dag(spec, rng));
+      break;
+    }
+  }
+  PartitionOptions opt;
+  opt.m = static_cast<std::size_t>(m);
+  MfgForest forest = partition(nl, opt);
+  ASSERT_NO_THROW(forest.check_invariants(opt.m));
+  merge_mfgs(forest, opt.m);
+  ASSERT_NO_THROW(forest.check_invariants(opt.m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(::testing::Range(1, 9), ::testing::Values(3, 6, 12, 24)));
+
+}  // namespace
+}  // namespace lbnn

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "core/mfg.hpp"
+#include "core/schedule.hpp"
+#include "netlist/random_circuits.hpp"
+#include "opt/passes.hpp"
+#include "opt/path_balance.hpp"
+#include "opt/tech_map.hpp"
+
+namespace lbnn {
+namespace {
+
+Netlist prepared(Netlist nl, Level pad_to) {
+  nl = optimize(nl);
+  nl = tech_map(nl, CellLibrary::lut4_full());
+  nl = eliminate_dead(nl);
+  return balance_paths(nl, pad_to);
+}
+
+/// Structural checks every schedule must satisfy, for either sharing mode:
+///  * each alive MFG has at least one instance; band roots exactly one
+///  * chains are contiguous bottom-up level ranges
+///  * producers are scheduled no later than consumers
+///  * per-(LPV, lane, wavefront) no two writers collide
+void check_schedule(const MfgForest& forest, const Schedule& sched,
+                    const LpuConfig& cfg) {
+  std::set<MfgId> instantiated;
+  for (const auto& inst : sched.instances) {
+    ASSERT_TRUE(forest.alive(inst.mfg));
+    instantiated.insert(inst.mfg);
+  }
+  for (const MfgId id : forest.alive_ids()) {
+    ASSERT_TRUE(instantiated.count(id) == 1) << "MFG " << id << " never scheduled";
+  }
+
+  // Chains: consecutive instances stack ranges exactly.
+  for (const auto& wave : sched.wavefronts) {
+    for (std::size_t i = 1; i < wave.size(); ++i) {
+      const Mfg& below = forest.at(sched.instances[wave[i - 1]].mfg);
+      const Mfg& above = forest.at(sched.instances[wave[i]].mfg);
+      EXPECT_EQ(below.top + 1, above.bottom);
+    }
+  }
+
+  // Producer ordering and lane collision detection.
+  const std::uint32_t n = cfg.n;
+  std::map<std::tuple<std::uint32_t, std::uint32_t, Lane>, std::uint32_t> writers;
+  for (const auto& inst : sched.instances) {
+    const Mfg& g = forest.at(inst.mfg);
+    const std::uint32_t band = static_cast<std::uint32_t>(g.bottom) / n;
+    for (std::size_t i = 0; i < g.levels.size(); ++i) {
+      const std::uint32_t lpv =
+          static_cast<std::uint32_t>(g.bottom) + static_cast<std::uint32_t>(i) -
+          band * n;
+      ASSERT_EQ(inst.lanes.lanes[i].size(), g.levels[i].size());
+      std::set<Lane> used_this_level;
+      for (const Lane lane : inst.lanes.lanes[i]) {
+        ASSERT_LT(lane, cfg.m);
+        EXPECT_TRUE(used_this_level.insert(lane).second)
+            << "duplicate lane within a level";
+        const auto key = std::make_tuple(inst.wavefront, lpv, lane);
+        const auto [it, fresh] = writers.emplace(key, inst.mfg);
+        EXPECT_TRUE(fresh) << "two nodes share (wavefront, LPV, lane)";
+      }
+    }
+    for (const auto& [node, pinst] : inst.producer_instance) {
+      EXPECT_LE(sched.instances[pinst].wavefront, inst.wavefront);
+    }
+  }
+}
+
+MfgForest make_forest(const Netlist& nl, std::size_t m, std::size_t band) {
+  PartitionOptions opt;
+  opt.m = m;
+  opt.band = band;
+  return partition(nl, opt);
+}
+
+TEST(Schedule, SharedModeBasics) {
+  Rng gen(1);
+  const Netlist nl = prepared(random_tree(32, gen), 7);
+  LpuConfig cfg;
+  cfg.m = 8;
+  cfg.n = 8;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  const Schedule s = build_schedule(forest, cfg, SharingMode::kShared);
+  check_schedule(forest, s, cfg);
+  EXPECT_EQ(s.stats.duplicates, 0u);
+  EXPECT_EQ(s.stats.instances, forest.num_alive());
+}
+
+TEST(Schedule, TreeModeDuplicatesSharedChildren) {
+  Rng gen(2);
+  const Netlist nl = prepared(reconvergent_grid(10, 6, gen), 7);
+  LpuConfig cfg;
+  cfg.m = 8;
+  cfg.n = 8;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  const Schedule s = build_schedule(forest, cfg, SharingMode::kTree);
+  check_schedule(forest, s, cfg);
+  // Tree mode duplicates exactly the MFGs with several in-band parents.
+  std::map<MfgId, int> parent_count;
+  for (const MfgId id : forest.alive_ids()) {
+    for (const MfgId c : forest.children_of(id)) {
+      const bool same_band = static_cast<std::uint32_t>(forest.at(c).bottom) / cfg.n ==
+                             static_cast<std::uint32_t>(forest.at(id).bottom) / cfg.n;
+      if (same_band) ++parent_count[c];
+    }
+  }
+  std::size_t shared = 0;
+  for (const auto& [mfg, count] : parent_count) {
+    if (count > 1) ++shared;
+  }
+  if (shared > 0) {
+    EXPECT_GT(s.stats.duplicates, 0u);
+  } else {
+    EXPECT_EQ(s.stats.duplicates, 0u);
+  }
+  EXPECT_EQ(s.stats.instances, forest.num_alive() + s.stats.duplicates);
+}
+
+TEST(Schedule, ChainingHappens) {
+  Rng gen(3);
+  const Netlist nl = prepared(random_tree(64, gen), 7);
+  LpuConfig cfg;
+  cfg.m = 8;
+  cfg.n = 8;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  merge_mfgs(forest, cfg.m);
+  const Schedule s = build_schedule(forest, cfg, SharingMode::kShared);
+  check_schedule(forest, s, cfg);
+  EXPECT_GT(s.stats.chained_mfgs, 0u);
+  EXPECT_LT(s.stats.wavefronts, s.stats.instances);
+}
+
+TEST(Schedule, BandsCreateBubbles) {
+  // Depth 12 on a 4-LPV machine: 3 bands; feedback timing forces bubbles.
+  Rng gen(4);
+  const Netlist nl = prepared(random_tree(64, gen), 11);
+  LpuConfig cfg;
+  cfg.m = 16;
+  cfg.n = 4;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  const Schedule s = build_schedule(forest, cfg, SharingMode::kShared);
+  check_schedule(forest, s, cfg);
+  EXPECT_EQ(s.stats.bands, 3u);
+  EXPECT_GT(s.stats.bubbles, 0u);
+  // Feedback timing: every band-boundary consumer fires > n-1 wavefronts
+  // after its producer (checked end-to-end by the simulator too).
+  for (const auto& inst : s.instances) {
+    const Mfg& g = forest.at(inst.mfg);
+    if (g.bottom == 0 || static_cast<std::uint32_t>(g.bottom) % cfg.n != 0) continue;
+    for (const NodeId y : g.external_inputs) {
+      const auto it = s.band_root_instance.find(forest.producer_of(y));
+      ASSERT_NE(it, s.band_root_instance.end());
+      EXPECT_GT(inst.wavefront, s.instances[it->second].wavefront + cfg.n - 1);
+    }
+  }
+}
+
+TEST(Schedule, InstanceBudgetEnforced) {
+  Rng gen(5);
+  const Netlist nl = prepared(reconvergent_grid(12, 7, gen), 7);
+  LpuConfig cfg;
+  cfg.m = 6;
+  cfg.n = 8;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  EXPECT_THROW(build_schedule(forest, cfg, SharingMode::kTree, 4), CompileError);
+}
+
+TEST(Schedule, MergeReducesWavefronts) {
+  Rng gen(6);
+  const Netlist nl = prepared(reconvergent_grid(12, 6, gen), 7);
+  LpuConfig cfg;
+  cfg.m = 8;
+  cfg.n = 8;
+  MfgForest plain = make_forest(nl, cfg.m, cfg.n);
+  MfgForest merged = make_forest(nl, cfg.m, cfg.n);
+  merge_mfgs(merged, cfg.m);
+  const Schedule sp = build_schedule(plain, cfg, SharingMode::kTree);
+  const Schedule sm = build_schedule(merged, cfg, SharingMode::kTree);
+  EXPECT_LE(sm.stats.wavefronts, sp.stats.wavefronts);
+}
+
+TEST(Schedule, BandRootInstancesUnique) {
+  Rng gen(7);
+  const Netlist nl = prepared(random_tree(48, gen), 11);
+  LpuConfig cfg;
+  cfg.m = 8;
+  cfg.n = 4;
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  const Schedule s = build_schedule(forest, cfg, SharingMode::kTree);
+  // Band roots (feedback producers / PO producers) must have exactly one
+  // instance even in tree mode.
+  std::map<MfgId, int> count;
+  for (const auto& inst : s.instances) ++count[inst.mfg];
+  for (const auto& [mfg, root_inst] : s.band_root_instance) {
+    EXPECT_EQ(count[mfg], 1) << "band root MFG duplicated";
+    EXPECT_EQ(s.instances[root_inst].mfg, mfg);
+  }
+}
+
+class ScheduleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScheduleProperty, BothModesValidAcrossShapes) {
+  const auto [seed, m, n] = GetParam();
+  Rng gen(static_cast<std::uint64_t>(seed));
+  const Level pad = static_cast<Level>(n - 1 + n * (seed % 2));  // 1 or 2 bands
+  const Netlist nl = prepared(reconvergent_grid(10, 5, gen), pad);
+  LpuConfig cfg;
+  cfg.m = static_cast<std::uint32_t>(m);
+  cfg.n = static_cast<std::uint32_t>(n);
+  MfgForest forest = make_forest(nl, cfg.m, cfg.n);
+  merge_mfgs(forest, cfg.m);
+  const Schedule tree = build_schedule(forest, cfg, SharingMode::kTree);
+  check_schedule(forest, tree, cfg);
+  try {
+    const Schedule shared = build_schedule(forest, cfg, SharingMode::kShared);
+    check_schedule(forest, shared, cfg);
+    // Shared mode never uses more instances than tree mode.
+    EXPECT_LE(shared.stats.instances, tree.stats.instances);
+  } catch (const CompileError&) {
+    // Shared mode may legitimately run out of snapshot lanes.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScheduleProperty,
+    ::testing::Combine(::testing::Range(1, 7), ::testing::Values(6, 10, 16),
+                       ::testing::Values(4, 8, 12)));
+
+TEST(Compiler, ReportsTreeFallback) {
+  // A workload dense enough that shared scheduling fails at full width.
+  Rng gen(8);
+  const Netlist nl = reconvergent_grid(12, 8, gen);
+  CompileOptions opt;
+  opt.lpu.m = 4;
+  opt.lpu.n = 8;
+  const CompileResult res = compile(nl, opt);
+  // Either shared worked (fine) or the report must show the fallback.
+  if (res.report.tree_sharing) {
+    EXPECT_GT(res.report.instances, res.report.mfgs_after_merge);
+  }
+  EXPECT_GE(res.report.effective_m, 2u);
+}
+
+}  // namespace
+}  // namespace lbnn

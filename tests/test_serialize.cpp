@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "core/serialize.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+
+namespace lbnn {
+namespace {
+
+Program compile_grid(int seed, std::uint32_t m, std::uint32_t n) {
+  Rng gen(static_cast<std::uint64_t>(seed));
+  const Netlist nl = reconvergent_grid(10, 6, gen);
+  CompileOptions opt;
+  opt.lpu.m = m;
+  opt.lpu.n = n;
+  return compile(nl, opt).program;
+}
+
+TEST(Serialize, RoundTripIsExact) {
+  const Program p = compile_grid(1, 8, 8);
+  const std::string text = program_to_string(p);
+  const Program q = program_from_string(text);
+  EXPECT_EQ(program_to_string(q), text);
+  EXPECT_EQ(q.num_wavefronts, p.num_wavefronts);
+  EXPECT_EQ(q.input_layout, p.input_layout);
+  EXPECT_EQ(q.total_routes(), p.total_routes());
+  EXPECT_EQ(q.total_computes(), p.total_computes());
+}
+
+TEST(Serialize, ReloadedProgramSimulatesIdentically) {
+  Rng gen(2);
+  const Netlist nl = reconvergent_grid(10, 6, gen);
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  const Program p = compile(nl, opt).program;
+  const Program q = program_from_string(program_to_string(p));
+  LpuSimulator sp(p), sq(q);
+  Rng rng(3);
+  for (int i = 0; i < 3; ++i) {
+    const auto in = random_inputs(nl, 32, rng);
+    EXPECT_EQ(sp.run(in), sq.run(in));
+  }
+}
+
+TEST(Serialize, HeaderFormat) {
+  const Program p = compile_grid(3, 4, 4);
+  const std::string text = program_to_string(p);
+  EXPECT_EQ(text.rfind("lpu 4 4 5 0 333", 0), 0u);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(Serialize, MalformedInputsThrow) {
+  EXPECT_THROW(program_from_string(""), Error);
+  EXPECT_THROW(program_from_string("lpu 4 4 5 0 333\n"), Error);  // no end
+  EXPECT_THROW(program_from_string("bogus record\nend\n"), Error);
+  const Program p = compile_grid(4, 4, 4);
+  std::string text = program_to_string(p);
+  // Corrupt a route's source kind.
+  const auto pos = text.find(" prev ");
+  if (pos != std::string::npos) {
+    text.replace(pos, 6, " nope ");
+    EXPECT_THROW(program_from_string(text), Error);
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const Program p = compile_grid(5, 4, 4);
+  std::string text = "# configuration file\n\n" + program_to_string(p);
+  EXPECT_NO_THROW(program_from_string(text));
+}
+
+TEST(Serialize, HexImagesCoverEveryLpv) {
+  const Program p = compile_grid(6, 4, 8);
+  const std::string hex = emit_hex_images(p);
+  for (std::uint32_t j = 0; j < p.cfg.n; ++j) {
+    EXPECT_NE(hex.find("LPV " + std::to_string(j) + " instruction queue"),
+              std::string::npos);
+  }
+  // One barrier word (0xC0000000) per (LPV, memLoc).
+  std::size_t barriers = 0;
+  for (std::size_t at = hex.find("c0000000"); at != std::string::npos;
+       at = hex.find("c0000000", at + 1)) {
+    ++barriers;
+  }
+  EXPECT_EQ(barriers, static_cast<std::size_t>(p.cfg.n) * p.num_wavefronts);
+}
+
+TEST(Serialize, TestbenchMentionsGeometry) {
+  const Program p = compile_grid(7, 8, 8);
+  const std::string tb = emit_testbench(p, "lpu_top");
+  EXPECT_NE(tb.find("module lpu_top_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("localparam M = 8;"), std::string::npos);
+  EXPECT_NE(tb.find("localparam N = 8;"), std::string::npos);
+  EXPECT_NE(tb.find("localparam MEMLOCS = " + std::to_string(p.num_wavefronts)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbnn
