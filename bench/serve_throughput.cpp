@@ -1,0 +1,116 @@
+// Serving scaling curve: aggregate samples/s of the batched multi-threaded
+// engine as worker count grows, against the single-thread LpuSimulator::run
+// baseline on the same program and the same lane-saturating workload.
+//
+//   $ ./serve_throughput [total_samples]
+//
+// The workload is a reconvergent grid compiled for the paper's LPU
+// (m = 64 -> 128-lane datapath words), large enough that simulation work
+// dominates request plumbing. Expect samples/s to grow monotonically with
+// workers and to clear 2x the baseline at 4 workers on a machine with >= 4
+// cores; on fewer cores the curve flattens at the core count.
+
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbnn;
+  using namespace lbnn::runtime;
+
+  const long long requested = argc > 1 ? std::atoll(argv[1]) : 8192;
+  // <= 0 covers both unparsable and negative arguments.
+  const std::size_t total_samples =
+      requested > 0 ? static_cast<std::size_t>(requested) : 8192;
+
+  CompileOptions copt;
+  copt.lpu = bench::paper_lpu(8);
+  Rng gen(7);
+  const Netlist nl = reconvergent_grid(96, 24, gen);
+  const CompileResult compiled = compile(nl, copt);
+  const std::size_t lanes = compiled.program.cfg.effective_word_width();
+  const std::size_t batches = (total_samples + lanes - 1) / lanes;
+
+  std::cout << "workload: " << nl.num_gates() << " gates, "
+            << compiled.report.wavefronts << " wavefronts, " << lanes
+            << "-lane words, " << total_samples << " samples ("
+            << batches << " full batches)\n\n";
+
+  // Baseline: one thread, one simulator, full-width packed batches — the
+  // best a single-shot LpuSimulator::run loop can do (zero request plumbing).
+  Rng rng(8);
+  const auto inputs = random_inputs(nl, lanes, rng);
+  LpuSimulator sim(compiled.program);
+  const auto t0 = Clock::now();
+  for (std::size_t b = 0; b < batches; ++b) sim.run(inputs);
+  const double base_s = seconds_since(t0);
+  const double base_rate = static_cast<double>(batches * lanes) / base_s;
+  std::cout << "single-thread LpuSimulator::run baseline: "
+            << bench::fps_str(base_rate) << " samples/s\n\n";
+
+  // One request per sample, reused across engine configurations.
+  std::vector<std::vector<bool>> requests;
+  requests.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    std::vector<bool> bits(nl.num_inputs());
+    for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = inputs[pi].get(lane);
+    requests.push_back(std::move(bits));
+  }
+
+  std::cout << std::left << std::setw(9) << "workers" << std::setw(14)
+            << "samples/s" << std::setw(10) << "speedup" << std::setw(12)
+            << "occupancy" << "p99 (us)\n";
+  bench::print_rule(54);
+  for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+    EngineOptions eopt;
+    eopt.num_workers = workers;
+    eopt.batch_timeout = std::chrono::milliseconds(5);
+    eopt.compile = copt;
+    Engine engine(eopt);
+    const ModelId id = engine.load_model("grid", nl);
+
+    std::vector<std::future<std::vector<bool>>> futs;
+    futs.reserve(batches * lanes);
+    const auto start = Clock::now();
+    for (std::size_t b = 0; b < batches; ++b) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        futs.push_back(engine.submit(id, requests[lane]));
+      }
+    }
+    engine.drain();
+    const double elapsed = seconds_since(start);
+    for (auto& f : futs) f.get();  // surface any batch failure
+
+    const ServeReport rep = engine.report();
+    const double rate = static_cast<double>(rep.samples) / elapsed;
+    std::ostringstream speedup;
+    speedup << std::fixed << std::setprecision(2) << rate / base_rate << "x";
+    std::cout << std::left << std::setw(9) << workers << std::setw(14)
+              << bench::fps_str(rate) << std::setw(10) << speedup.str()
+              << std::setw(12)
+              << (std::to_string(static_cast<int>(rep.lane_occupancy * 100)) + "%")
+              << rep.p99_latency_us << "\n";
+  }
+  std::cout << "\n(speedup saturates at min(workers, cores); this host has "
+            << std::thread::hardware_concurrency() << " core(s))\n";
+  return 0;
+}

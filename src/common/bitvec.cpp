@@ -1,12 +1,12 @@
 #include "common/bitvec.hpp"
 
-#include <bit>
+#include "common/bits.hpp"
 
 namespace lbnn {
 
 std::size_t BitVec::popcount() const {
   std::size_t n = 0;
-  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  for (const auto w : words_) n += static_cast<std::size_t>(popcount64(w));
   return n;
 }
 

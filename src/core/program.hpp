@@ -26,7 +26,10 @@ struct SrcSel {
   Kind kind = Kind::kPrevLane;
   std::uint32_t index = 0;
 
-  friend bool operator==(const SrcSel&, const SrcSel&) = default;
+  friend bool operator==(const SrcSel& a, const SrcSel& b) {
+    return a.kind == b.kind && a.index == b.index;
+  }
+  friend bool operator!=(const SrcSel& a, const SrcSel& b) { return !(a == b); }
 };
 
 /// One route write: register slot <- src. Slots are numbered lane*2 + (0 for

@@ -1,6 +1,6 @@
 #include "interconnect/benes.hpp"
 
-#include <bit>
+#include "common/bits.hpp"
 
 #include "common/check.hpp"
 #include "common/error.hpp"
@@ -11,7 +11,7 @@ BenesNetwork::BenesNetwork(std::uint32_t ports) : ports_(ports) {
   if (ports < 2 || (ports & (ports - 1)) != 0) {
     throw Error("Benes network needs a power-of-two port count >= 2");
   }
-  log2_ = static_cast<std::uint32_t>(std::countr_zero(ports));
+  log2_ = static_cast<std::uint32_t>(countr_zero32(ports));
 }
 
 BenesNetwork::Config BenesNetwork::route(

@@ -1,6 +1,6 @@
 #include "interconnect/copy_network.hpp"
 
-#include <bit>
+#include "common/bits.hpp"
 
 #include "common/check.hpp"
 #include "common/error.hpp"
@@ -11,7 +11,7 @@ CopyNetwork::CopyNetwork(std::uint32_t positions) : positions_(positions) {
   if (positions < 2 || (positions & (positions - 1)) != 0) {
     throw Error("copy network needs a power-of-two position count >= 2");
   }
-  log2_ = static_cast<std::uint32_t>(std::countr_zero(positions));
+  log2_ = static_cast<std::uint32_t>(countr_zero32(positions));
 }
 
 CopyNetwork::Config CopyNetwork::route_blocks(
@@ -37,7 +37,7 @@ CopyNetwork::Config CopyNetwork::route_blocks(
     const std::uint32_t off = p - block_start[p];
     if (off == 0) continue;
     const std::uint32_t s =
-        31u - static_cast<std::uint32_t>(std::countl_zero(off));
+        31u - static_cast<std::uint32_t>(countl_zero32(off));
     cfg[s][p] = true;
   }
   return cfg;

@@ -1,6 +1,6 @@
 #include "interconnect/multicast.hpp"
 
-#include <bit>
+#include "common/bits.hpp"
 
 #include "common/check.hpp"
 #include "common/error.hpp"
@@ -8,7 +8,7 @@
 namespace lbnn::interconnect {
 namespace {
 
-std::uint32_t pow2_ceil(std::uint32_t x) { return std::bit_ceil(x); }
+std::uint32_t pow2_ceil(std::uint32_t x) { return bit_ceil32(x); }
 
 }  // namespace
 

@@ -1,7 +1,7 @@
 #include "nn/quine_mccluskey.hpp"
 
 #include <algorithm>
-#include <bit>
+#include "common/bits.hpp"
 #include <set>
 #include <unordered_set>
 
@@ -37,8 +37,8 @@ std::vector<Implicant> minimize_qm(std::uint32_t num_vars,
     std::vector<Implicant> terms(current.begin(), current.end());
     std::sort(terms.begin(), terms.end(), [](const Implicant& a, const Implicant& b) {
       if (a.mask != b.mask) return a.mask < b.mask;
-      const int pa = std::popcount(a.value);
-      const int pb = std::popcount(b.value);
+      const int pa = popcount32(a.value);
+      const int pb = popcount32(b.value);
       if (pa != pb) return pa < pb;
       return a.value < b.value;
     });
@@ -48,7 +48,7 @@ std::vector<Implicant> minimize_qm(std::uint32_t num_vars,
       for (std::size_t j = i + 1; j < terms.size(); ++j) {
         if (terms[j].mask != terms[i].mask) break;  // sorted by mask
         const std::uint32_t diff = terms[i].value ^ terms[j].value;
-        if (std::popcount(diff) != 1) continue;
+        if (popcount32(diff) != 1) continue;
         next.insert({terms[i].value & ~diff, terms[i].mask | diff});
         combined[i] = true;
         combined[j] = true;

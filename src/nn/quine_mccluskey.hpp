@@ -15,7 +15,10 @@ struct Implicant {
   bool covers(std::uint32_t minterm) const {
     return ((minterm ^ value) & ~mask) == 0;
   }
-  friend bool operator==(const Implicant&, const Implicant&) = default;
+  friend bool operator==(const Implicant& a, const Implicant& b) {
+    return a.value == b.value && a.mask == b.mask;
+  }
+  friend bool operator!=(const Implicant& a, const Implicant& b) { return !(a == b); }
 };
 
 /// Quine–McCluskey two-level minimization with don't-cares (the logic

@@ -1,0 +1,102 @@
+#include "runtime/batcher.hpp"
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace lbnn::runtime {
+
+std::vector<BitVec> pack_requests(const std::vector<Request>& requests,
+                                  std::size_t num_inputs) {
+  std::vector<BitVec> packed(num_inputs, BitVec(requests.size()));
+  for (std::size_t lane = 0; lane < requests.size(); ++lane) {
+    const auto& bits = requests[lane].inputs;
+    LBNN_CHECK(bits.size() == num_inputs, "request input arity mismatch");
+    for (std::size_t pi = 0; pi < num_inputs; ++pi) {
+      if (bits[pi]) packed[pi].set(lane, true);
+    }
+  }
+  return packed;
+}
+
+std::vector<std::vector<bool>> unpack_outputs(const std::vector<BitVec>& outputs,
+                                              std::size_t num_requests) {
+  std::vector<std::vector<bool>> per_request(
+      num_requests, std::vector<bool>(outputs.size(), false));
+  for (std::size_t po = 0; po < outputs.size(); ++po) {
+    LBNN_CHECK(outputs[po].width() >= num_requests, "output word narrower than batch");
+    for (std::size_t lane = 0; lane < num_requests; ++lane) {
+      per_request[lane][po] = outputs[po].get(lane);
+    }
+  }
+  return per_request;
+}
+
+Batcher::Batcher(std::size_t num_inputs, std::size_t lane_capacity,
+                 std::chrono::microseconds max_wait, SealFn on_seal)
+    : num_inputs_(num_inputs),
+      lane_capacity_(lane_capacity),
+      max_wait_(max_wait),
+      on_seal_(std::move(on_seal)) {
+  LBNN_CHECK(lane_capacity_ > 0, "batcher needs at least one lane");
+  LBNN_CHECK(on_seal_ != nullptr, "batcher needs a seal sink");
+}
+
+std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
+                                               bool* opened_batch) {
+  if (input_bits.size() != num_inputs_) {
+    throw Error("request has " + std::to_string(input_bits.size()) +
+                " input bits, model expects " + std::to_string(num_inputs_));
+  }
+  Request req;
+  req.inputs = std::move(input_bits);
+  req.enqueued = Clock::now();
+  std::future<std::vector<bool>> fut = req.result.get_future();
+
+  Batch sealed;
+  bool opened = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (open_.empty()) {
+      open_deadline_ = req.enqueued + max_wait_;
+      opened = true;
+    }
+    open_.push_back(std::move(req));
+    if (open_.size() >= lane_capacity_) {
+      sealed.requests.swap(open_);
+      opened = false;  // sealed inline; no deadline left to watch
+    }
+  }
+  if (opened_batch != nullptr) *opened_batch = opened;
+  // Seal outside the lock: on_seal_ feeds a queue that wakes workers, and a
+  // worker must never contend with submitters on the batcher mutex.
+  if (!sealed.requests.empty()) on_seal_(std::move(sealed));
+  return fut;
+}
+
+std::optional<Clock::time_point> Batcher::deadline() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (open_.empty()) return std::nullopt;
+  return open_deadline_;
+}
+
+void Batcher::seal_if_expired(Clock::time_point now) {
+  Batch sealed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (open_.empty() || now < open_deadline_) return;
+    sealed.requests.swap(open_);
+  }
+  on_seal_(std::move(sealed));
+}
+
+void Batcher::flush() {
+  Batch sealed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (open_.empty()) return;
+    sealed.requests.swap(open_);
+  }
+  on_seal_(std::move(sealed));
+}
+
+}  // namespace lbnn::runtime

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace lbnn::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+/// One single-sample inference request: one Boolean per primary input going
+/// in, one per primary output coming back through the promise.
+struct Request {
+  std::vector<bool> inputs;
+  std::promise<std::vector<bool>> result;
+  Clock::time_point enqueued;
+};
+
+/// A sealed batch, ready to run: 1 <= requests.size() <= lane capacity.
+struct Batch {
+  std::vector<Request> requests;
+};
+
+/// Pack requests into the LPU's datapath words: request i becomes bit lane i
+/// of every primary-input BitVec (the simulator is bit-sliced, so a partial
+/// batch simply runs with a narrower word). Returns one BitVec per PI.
+std::vector<BitVec> pack_requests(const std::vector<Request>& requests,
+                                  std::size_t num_inputs);
+
+/// Inverse of pack_requests on the output side: per-request output bits from
+/// the simulator's per-PO BitVecs.
+std::vector<std::vector<bool>> unpack_outputs(const std::vector<BitVec>& outputs,
+                                              std::size_t num_requests);
+
+/// Dynamic batching queue for one model.
+///
+/// submit() appends the request to the open batch. The batch seals — is
+/// handed to `on_seal`, typically the engine's ready queue — when either
+///   * it reaches `lane_capacity` requests (one per datapath bit lane), or
+///   * the oldest request in it has waited `max_wait` (the engine's
+///     timekeeper calls seal_if_expired()).
+/// The lane-full path seals inside submit(), so a saturating client never
+/// waits on the timer. Batcher owns no thread; the engine drives time.
+class Batcher {
+ public:
+  using SealFn = std::function<void(Batch&&)>;
+
+  Batcher(std::size_t num_inputs, std::size_t lane_capacity,
+          std::chrono::microseconds max_wait, SealFn on_seal);
+
+  /// Throws lbnn::Error when input_bits.size() != num_inputs. When
+  /// `opened_batch` is non-null it is set to whether this request started a
+  /// new open batch (i.e. a new deadline now exists) — the engine only needs
+  /// to re-arm its timekeeper in that case.
+  std::future<std::vector<bool>> submit(std::vector<bool> input_bits,
+                                        bool* opened_batch = nullptr);
+
+  /// Deadline of the currently open batch, if one is open.
+  std::optional<Clock::time_point> deadline() const;
+
+  /// Seal the open batch if its deadline has passed at `now`.
+  void seal_if_expired(Clock::time_point now);
+
+  /// Seal whatever is open regardless of deadline (shutdown / drain).
+  void flush();
+
+  std::size_t lane_capacity() const { return lane_capacity_; }
+  std::size_t num_inputs() const { return num_inputs_; }
+
+ private:
+  const std::size_t num_inputs_;
+  const std::size_t lane_capacity_;
+  const std::chrono::microseconds max_wait_;
+  const SealFn on_seal_;
+
+  mutable std::mutex mu_;
+  std::vector<Request> open_;
+  Clock::time_point open_deadline_{};
+};
+
+}  // namespace lbnn::runtime

@@ -1,0 +1,372 @@
+#include "runtime/engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "lpu/simulator.hpp"
+#include "runtime/batcher.hpp"
+
+namespace lbnn::runtime {
+
+/// A registered model: the shared read-only compiled artifact(s) plus the
+/// model's batching queue. Members are the units of dispatch — one for a
+/// single-LPU model, one per assembly member for a parallel model.
+struct Engine::LoadedModel {
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+
+  struct Member {
+    const Program* program = nullptr;
+    /// Index maps into the original PI/PO spaces; nullptr means identity
+    /// (single-LPU models serve the whole netlist).
+    const std::vector<std::uint32_t>* pi_indices = nullptr;
+    const std::vector<std::uint32_t>* po_indices = nullptr;
+  };
+  std::vector<Member> members;
+
+  /// Keep-alive for the Program pointers above; cache eviction must not
+  /// invalidate a model that is still being served.
+  std::shared_ptr<const CompileResult> single_owner;
+  std::shared_ptr<const ParallelCompileResult> parallel_owner;
+
+  std::unique_ptr<Batcher> batcher;
+};
+
+/// One sealed batch in flight. Members write disjoint slots of `outputs`
+/// (their own po_indices), so no lock is needed on the data plane; the last
+/// member to finish (members_left) finalizes.
+struct Engine::BatchWork {
+  LoadedModel* model = nullptr;
+  std::vector<Request> requests;
+  std::vector<BitVec> inputs;   ///< packed PIs, width == requests.size()
+  std::vector<BitVec> outputs;  ///< original PO order
+  std::atomic<std::size_t> members_left{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::string error;
+};
+
+struct Engine::WorkItem {
+  std::shared_ptr<BatchWork> work;
+  std::size_t member = 0;
+};
+
+struct Engine::Impl {
+  mutable std::mutex models_mu;
+  std::vector<std::unique_ptr<LoadedModel>> models;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<WorkItem> queue;
+  bool stopping = false;
+
+  /// The timekeeper sleeps until the earliest open-batch deadline; submit
+  /// bumps the epoch so a new (possibly earlier) deadline re-arms the wait.
+  std::mutex timer_mu;
+  std::condition_variable timer_cv;
+  std::uint64_t timer_epoch = 0;
+  bool timer_stop = false;
+
+  std::atomic<std::size_t> in_flight{0};  ///< accepted, not yet answered
+  std::mutex drain_mu;
+  std::condition_variable drain_cv;
+
+  std::atomic<bool> accepting{true};
+};
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options), cache_(options.cache_capacity), impl_(new Impl) {
+  std::uint32_t workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  try {
+    for (std::uint32_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    timer_ = std::thread([this] { timer_loop(); });
+  } catch (...) {
+    // A thread failed to spawn (e.g. resource exhaustion): stop and join the
+    // ones that did start, so the half-built Engine destructs cleanly instead
+    // of std::terminate-ing on a joinable std::thread.
+    {
+      std::lock_guard<std::mutex> lk(impl_->queue_mu);
+      impl_->stopping = true;
+    }
+    impl_->queue_cv.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    throw;
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+ModelId Engine::register_model(std::unique_ptr<LoadedModel> model,
+                               std::size_t lane_capacity) {
+  LoadedModel* raw = model.get();
+  raw->batcher = std::make_unique<Batcher>(
+      raw->num_inputs, lane_capacity, options_.batch_timeout,
+      [this, raw](Batch&& batch) { enqueue_batch(*raw, std::move(batch)); });
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  impl_->models.push_back(std::move(model));
+  return static_cast<ModelId>(impl_->models.size() - 1);
+}
+
+ModelId Engine::load_model(const std::string& name, const Netlist& nl) {
+  auto compiled = cache_.get_or_compile(nl, options_.compile);
+  auto model = std::make_unique<LoadedModel>();
+  model->name = name;
+  model->num_inputs = nl.num_inputs();
+  model->num_outputs = nl.num_outputs();
+  model->single_owner = compiled;
+  model->members.push_back({&compiled->program, nullptr, nullptr});
+  return register_model(std::move(model),
+                        compiled->program.cfg.effective_word_width());
+}
+
+ModelId Engine::load_model_parallel(const std::string& name, const Netlist& nl,
+                                    std::uint32_t parallel_lpus) {
+  auto compiled =
+      cache_.get_or_compile_parallel(nl, options_.compile, parallel_lpus);
+  auto model = std::make_unique<LoadedModel>();
+  model->name = name;
+  model->num_inputs = nl.num_inputs();
+  model->num_outputs = nl.num_outputs();
+  model->parallel_owner = compiled;
+  for (const auto& member : compiled->members) {
+    model->members.push_back(
+        {&member.program, &member.pi_indices, &member.po_indices});
+  }
+  return register_model(
+      std::move(model),
+      compiled->members.front().program.cfg.effective_word_width());
+}
+
+Engine::LoadedModel& Engine::model_at(ModelId model) const {
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  if (model >= impl_->models.size()) {
+    throw Error("unknown model id " + std::to_string(model));
+  }
+  return *impl_->models[model];
+}
+
+const std::string& Engine::model_name(ModelId model) const {
+  return model_at(model).name;
+}
+
+std::future<std::vector<bool>> Engine::submit(ModelId model,
+                                              std::vector<bool> inputs) {
+  LoadedModel& lm = model_at(model);
+  // Claim the request BEFORE the accepting check: shutdown() flips accepting
+  // and then drains, so either this claim lands before drain's in_flight read
+  // (drain waits for us; timer/workers stay alive until we're answered) or it
+  // lands after, in which case accepting is already false here and we bail.
+  impl_->in_flight.fetch_add(1);
+  if (!impl_->accepting.load()) {
+    release_requests(1);
+    throw Error("engine is shut down");
+  }
+  std::future<std::vector<bool>> fut;
+  bool opened_batch = false;
+  try {
+    fut = lm.batcher->submit(std::move(inputs), &opened_batch);
+  } catch (...) {
+    release_requests(1);
+    throw;
+  }
+  if (opened_batch) {
+    // A new deadline exists; re-arm the timekeeper's wait.
+    {
+      std::lock_guard<std::mutex> lk(impl_->timer_mu);
+      ++impl_->timer_epoch;
+    }
+    impl_->timer_cv.notify_one();
+  }
+  return fut;
+}
+
+void Engine::enqueue_batch(LoadedModel& model, Batch&& batch) {
+  auto work = std::make_shared<BatchWork>();
+  work->model = &model;
+  work->requests = std::move(batch.requests);
+  work->inputs = pack_requests(work->requests, model.num_inputs);
+  work->outputs.assign(model.num_outputs, BitVec(work->requests.size()));
+  work->members_left.store(model.members.size());
+  {
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    for (std::size_t m = 0; m < model.members.size(); ++m) {
+      impl_->queue.push_back({work, m});
+    }
+  }
+  if (model.members.size() == 1) {
+    impl_->queue_cv.notify_one();
+  } else {
+    impl_->queue_cv.notify_all();
+  }
+}
+
+void Engine::worker_loop() {
+  // Each worker owns its simulators (keyed by the shared Program) — the
+  // Program is read-only, all mutable run state lives in the simulator.
+  std::unordered_map<const Program*, std::unique_ptr<LpuSimulator>> sims;
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lk(impl_->queue_mu);
+      impl_->queue_cv.wait(
+          lk, [this] { return impl_->stopping || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) return;
+      item = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+
+    BatchWork& work = *item.work;
+    const LoadedModel::Member& member = work.model->members[item.member];
+    try {
+      auto& sim = sims[member.program];
+      if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
+
+      const std::vector<BitVec>* in = &work.inputs;
+      std::vector<BitVec> gathered;
+      if (member.pi_indices != nullptr) {
+        gathered.reserve(member.pi_indices->size());
+        for (const std::uint32_t pi : *member.pi_indices) {
+          gathered.push_back(work.inputs[pi]);
+        }
+        in = &gathered;
+      }
+
+      std::vector<BitVec> out = sim->run(*in);
+      stats_.on_sim_run(sim->counters());
+
+      if (member.po_indices != nullptr) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          work.outputs[(*member.po_indices)[i]] = std::move(out[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          work.outputs[i] = std::move(out[i]);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(work.error_mu);
+      work.failed.store(true);
+      if (work.error.empty()) work.error = e.what();
+    }
+
+    if (work.members_left.fetch_sub(1) == 1) finalize(work);
+  }
+}
+
+void Engine::finalize(BatchWork& work) {
+  const Clock::time_point now = Clock::now();
+  // Stats are recorded BEFORE any future resolves: a client that wakes from
+  // .get() and immediately calls report() must see its request counted.
+  if (work.failed.load()) {
+    // The batch ran (and wasted its lanes) but produced no samples.
+    stats_.on_batch(0, work.model->batcher->lane_capacity());
+    for (auto& req : work.requests) {
+      req.result.set_exception(
+          std::make_exception_ptr(Error("batch failed: " + work.error)));
+    }
+  } else {
+    std::vector<std::uint64_t> latencies;
+    latencies.reserve(work.requests.size());
+    for (const auto& req : work.requests) {
+      const auto latency =
+          std::chrono::duration_cast<std::chrono::microseconds>(now - req.enqueued);
+      latencies.push_back(static_cast<std::uint64_t>(latency.count()));
+    }
+    stats_.on_requests_done(latencies);
+    stats_.on_batch(work.requests.size(), work.model->batcher->lane_capacity());
+    auto per_request = unpack_outputs(work.outputs, work.requests.size());
+    for (std::size_t i = 0; i < work.requests.size(); ++i) {
+      work.requests[i].result.set_value(std::move(per_request[i]));
+    }
+  }
+  release_requests(work.requests.size());
+}
+
+void Engine::release_requests(std::size_t n) {
+  if (impl_->in_flight.fetch_sub(n) == n) {
+    std::lock_guard<std::mutex> lk(impl_->drain_mu);
+    impl_->drain_cv.notify_all();
+  }
+}
+
+void Engine::timer_loop() {
+  std::unique_lock<std::mutex> lk(impl_->timer_mu);
+  for (;;) {
+    if (impl_->timer_stop) return;
+    const std::uint64_t seen = impl_->timer_epoch;
+
+    std::optional<Clock::time_point> earliest;
+    for (Batcher* b : batchers()) {
+      const auto d = b->deadline();
+      if (d && (!earliest || *d < *earliest)) earliest = d;
+    }
+
+    const auto woken = [this, seen] {
+      return impl_->timer_stop || impl_->timer_epoch != seen;
+    };
+    if (earliest) {
+      impl_->timer_cv.wait_until(lk, *earliest, woken);
+      if (impl_->timer_stop) return;
+      lk.unlock();
+      const Clock::time_point now = Clock::now();
+      // Seal outside models_mu: on_seal packs the whole batch, and submit()
+      // needs models_mu for every lookup — batcher pointers are stable
+      // (models are append-only for the engine's lifetime).
+      for (Batcher* b : batchers()) b->seal_if_expired(now);
+      lk.lock();
+    } else {
+      impl_->timer_cv.wait(lk, woken);
+    }
+  }
+}
+
+std::vector<Batcher*> Engine::batchers() const {
+  std::vector<Batcher*> out;
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  out.reserve(impl_->models.size());
+  for (const auto& m : impl_->models) out.push_back(m->batcher.get());
+  return out;
+}
+
+void Engine::drain() {
+  for (Batcher* b : batchers()) b->flush();
+  std::unique_lock<std::mutex> lk(impl_->drain_mu);
+  impl_->drain_cv.wait(lk, [this] { return impl_->in_flight.load() == 0; });
+}
+
+void Engine::shutdown() {
+  impl_->accepting.store(false);
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(impl_->timer_mu);
+    impl_->timer_stop = true;
+  }
+  impl_->timer_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    impl_->stopping = true;
+  }
+  impl_->queue_cv.notify_all();
+  if (timer_.joinable()) timer_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+}  // namespace lbnn::runtime

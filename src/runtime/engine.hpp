@@ -1,0 +1,108 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "netlist/netlist.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/program_cache.hpp"
+#include "runtime/serve_stats.hpp"
+
+namespace lbnn::runtime {
+
+using ModelId = std::uint32_t;
+
+struct EngineOptions {
+  /// Worker threads, each owning its own LpuSimulators. 0 means
+  /// hardware_concurrency (min 1).
+  std::uint32_t num_workers = 0;
+  /// How long a partial batch may wait for more requests before it runs.
+  std::chrono::microseconds batch_timeout{200};
+  /// Compiled-program LRU capacity (shared across all loads).
+  std::size_t cache_capacity = 16;
+  /// Compile flow configuration for every load_model call.
+  CompileOptions compile;
+};
+
+/// Batched multi-threaded serving engine over the LPU toolchain.
+///
+/// Layering: the compiler turns a netlist into an immutable Program; each
+/// worker thread wraps the shared Program in its own LpuSimulator (simulators
+/// carry per-run scratch state, programs are read-only); a per-model Batcher
+/// packs single-sample requests into the 2m bit lanes of one datapath word;
+/// sealed batches go to a single ready queue that idle workers pull from —
+/// pull scheduling IS least-loaded dispatch, across workers and, for
+/// multi-LPU models, across the assembly's members (each member of a batch is
+/// an independently pullable work item).
+///
+/// Thread-safety: every public method may be called from any thread.
+/// Destruction drains in-flight work, then joins all threads.
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Compile (or fetch from the program cache) and register a model.
+  ModelId load_model(const std::string& name, const Netlist& nl);
+
+  /// Same, but compiled as a `parallel_lpus`-way parallel LPU assembly
+  /// (Sec. III); each member runs as an independent work item.
+  ModelId load_model_parallel(const std::string& name, const Netlist& nl,
+                              std::uint32_t parallel_lpus);
+
+  /// Submit one sample (one Boolean per primary input). The future resolves
+  /// to one Boolean per primary output once the sample's batch has run.
+  /// Throws lbnn::Error on unknown model, arity mismatch, or after shutdown.
+  std::future<std::vector<bool>> submit(ModelId model, std::vector<bool> inputs);
+
+  /// Seal all partial batches and block until every accepted request has
+  /// been answered.
+  void drain();
+
+  /// drain(), then stop and join all threads. Idempotent; the destructor
+  /// calls it.
+  void shutdown();
+
+  ServeReport report() const { return stats_.report(); }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  const std::string& model_name(ModelId model) const;
+
+ private:
+  struct LoadedModel;
+  struct BatchWork;
+  struct WorkItem;
+  struct Impl;
+
+  void worker_loop();
+  void timer_loop();
+  ModelId register_model(std::unique_ptr<LoadedModel> model,
+                         std::size_t lane_capacity);
+  void enqueue_batch(LoadedModel& model, Batch&& batch);
+  void finalize(BatchWork& work);
+  void release_requests(std::size_t n);
+  LoadedModel& model_at(ModelId model) const;
+  /// Stable Batcher pointers snapshot (models are append-only), so sealing
+  /// and flushing can happen outside models_mu.
+  std::vector<Batcher*> batchers() const;
+
+  EngineOptions options_;
+  ProgramCache cache_;
+  ServeStats stats_;
+
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> workers_;
+  std::thread timer_;
+};
+
+}  // namespace lbnn::runtime

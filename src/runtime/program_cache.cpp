@@ -1,0 +1,126 @@
+#include "runtime/program_cache.hpp"
+
+#include <utility>
+
+namespace lbnn::runtime {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001B3ull;
+
+struct Fnv {
+  std::uint64_t h = kFnvOffset;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+  void mix_str(const std::string& s) {
+    mix(s.size());
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const Netlist& nl, const CompileOptions& opt) {
+  Fnv f;
+  // Netlist structure: dense ids are canonical (topological construction
+  // order), so op/fanin streams identify the graph.
+  f.mix(nl.num_nodes());
+  for (NodeId id = 0; id < static_cast<NodeId>(nl.num_nodes()); ++id) {
+    f.mix(static_cast<std::uint64_t>(nl.op(id)));
+    f.mix(static_cast<std::uint64_t>(nl.fanin0(id)));
+    f.mix(static_cast<std::uint64_t>(nl.fanin1(id)));
+  }
+  f.mix(nl.num_inputs());
+  for (std::size_t i = 0; i < nl.num_inputs(); ++i) f.mix_str(nl.input_name(i));
+  f.mix(nl.num_outputs());
+  for (std::size_t o = 0; o < nl.num_outputs(); ++o) {
+    f.mix(static_cast<std::uint64_t>(nl.outputs()[o]));
+    f.mix_str(nl.output_name(o));
+  }
+  // Every option that changes the emitted program.
+  f.mix(opt.lpu.m);
+  f.mix(opt.lpu.n);
+  f.mix(opt.lpu.tsw);
+  f.mix(opt.lpu.word_width);
+  f.mix(static_cast<std::uint64_t>(opt.lpu.clock_mhz * 1e3));
+  f.mix(opt.optimize ? 1 : 0);
+  f.mix(opt.merge ? 1 : 0);
+  f.mix(opt.width_headroom_retries);
+  for (const GateOp op : opt.library.ops()) f.mix(static_cast<std::uint64_t>(op));
+  return f.h;
+}
+
+ProgramCache::ProgramCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0) capacity_ = 1;
+}
+
+ProgramCache::Entry* ProgramCache::lookup_locked(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second;
+}
+
+void ProgramCache::insert_locked(std::uint64_t key, Entry entry) {
+  while (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  map_.emplace(key, std::move(entry));
+}
+
+std::shared_ptr<const CompileResult> ProgramCache::get_or_compile(
+    const Netlist& nl, const CompileOptions& opt) {
+  const std::uint64_t key = fingerprint(nl, opt);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (Entry* e = lookup_locked(key); e != nullptr && e->single) {
+    ++stats_.hits;
+    return e->single;
+  }
+  ++stats_.misses;
+  Entry entry;
+  entry.single = std::make_shared<const CompileResult>(compile(nl, opt));
+  auto result = entry.single;
+  insert_locked(key, std::move(entry));
+  return result;
+}
+
+std::shared_ptr<const ParallelCompileResult> ProgramCache::get_or_compile_parallel(
+    const Netlist& nl, const CompileOptions& opt, std::uint32_t k) {
+  Fnv f;
+  f.mix(fingerprint(nl, opt));
+  f.mix(0x706172616C6C656Cull);  // "parallel" tag: distinct key space from k=0
+  f.mix(k);
+  const std::uint64_t key = f.h;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (Entry* e = lookup_locked(key); e != nullptr && e->parallel) {
+    ++stats_.hits;
+    return e->parallel;
+  }
+  ++stats_.misses;
+  Entry entry;
+  entry.parallel =
+      std::make_shared<const ParallelCompileResult>(compile_parallel(nl, opt, k));
+  auto result = entry.parallel;
+  insert_locked(key, std::move(entry));
+  return result;
+}
+
+CacheStats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CacheStats s = stats_;
+  s.entries = map_.size();
+  return s;
+}
+
+}  // namespace lbnn::runtime

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/compiler.hpp"
+#include "lpu/multi_lpu.hpp"
+
+namespace lbnn::runtime {
+
+/// Structural 64-bit fingerprint of a (netlist, compile options) pair: FNV-1a
+/// over the netlist's ops/fanins/outputs and every option that changes the
+/// emitted program. Two netlists that fingerprint equal compile to the same
+/// Program, so the fingerprint is a sound cache key (names are included — a
+/// renamed output is a different serving contract even if the logic matches).
+std::uint64_t fingerprint(const Netlist& nl, const CompileOptions& opt);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+/// Fingerprint-keyed LRU cache of compiled programs, so repeated loads of the
+/// same model (common in serving: replicas, restarts, A/B pairs) skip the
+/// compile flow entirely. Values are shared_ptr<const ...>: an eviction never
+/// invalidates a program an Engine is still serving from.
+///
+/// Single-LPU results and k-way parallel assemblies share one LRU (k is
+/// folded into the key), so `capacity` bounds the total count of compiled
+/// artifacts held. Compilation happens under the cache lock — concurrent
+/// loaders of distinct models serialize, in exchange for never compiling the
+/// same model twice (the right trade for load-time work; see ROADMAP).
+class ProgramCache {
+ public:
+  explicit ProgramCache(std::size_t capacity);
+
+  std::shared_ptr<const CompileResult> get_or_compile(const Netlist& nl,
+                                                      const CompileOptions& opt);
+  std::shared_ptr<const ParallelCompileResult> get_or_compile_parallel(
+      const Netlist& nl, const CompileOptions& opt, std::uint32_t k);
+
+  CacheStats stats() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    /// Exactly one of the two is set, matching the key's k component.
+    std::shared_ptr<const CompileResult> single;
+    std::shared_ptr<const ParallelCompileResult> parallel;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  /// Returns the entry for `key`, marking it most-recent, or nullptr.
+  Entry* lookup_locked(std::uint64_t key);
+  void insert_locked(std::uint64_t key, Entry entry);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Entry> map_;
+  CacheStats stats_;
+};
+
+}  // namespace lbnn::runtime

@@ -1,0 +1,94 @@
+#include "runtime/serve_stats.hpp"
+
+#include "common/bits.hpp"
+
+namespace lbnn::runtime {
+
+void LatencyHistogram::record(std::uint64_t micros) {
+  std::size_t bucket = 0;
+  if (micros > 0) {
+    bucket = static_cast<std::size_t>(64 - countl_zero64(micros));
+    if (bucket >= buckets_.size()) bucket = buckets_.size() - 1;
+  }
+  ++buckets_[bucket];
+  ++count_;
+}
+
+std::uint64_t LatencyHistogram::percentile_us(double p) const {
+  if (count_ == 0) return 0;
+  // Rank of the p-th percentile sample, 1-based, clamped to [1, count].
+  auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i == 0 ? 0 : (i >= 63 ? ~0ull : (1ull << i) - 1);
+    }
+  }
+  return ~0ull;
+}
+
+void ServeStats::on_request_done(std::uint64_t latency_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hist_.record(latency_us);
+  ++requests_;
+}
+
+void ServeStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::uint64_t us : latencies_us) hist_.record(us);
+  requests_ += latencies_us.size();
+}
+
+void ServeStats::on_batch(std::size_t samples, std::size_t lane_capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  samples_ += samples;
+  lanes_offered_ += lane_capacity;
+}
+
+void ServeStats::on_sim_run(const SimCounters& c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sim_.wavefronts += c.wavefronts;
+  sim_.macro_cycles += c.macro_cycles;
+  sim_.clock_cycles += c.clock_cycles;
+  sim_.lpe_computes += c.lpe_computes;
+  sim_.route_writes += c.route_writes;
+  sim_.input_reads += c.input_reads;
+  sim_.feedback_words += c.feedback_words;
+  util_weight_ += c.lpe_utilization * static_cast<double>(c.wavefronts);
+}
+
+ServeReport ServeStats::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServeReport r;
+  r.requests = requests_;
+  r.batches = batches_;
+  r.samples = samples_;
+  r.lanes_offered = lanes_offered_;
+  r.lane_occupancy = lanes_offered_ == 0
+                         ? 0.0
+                         : static_cast<double>(samples_) / static_cast<double>(lanes_offered_);
+  r.p50_latency_us = hist_.percentile_us(50.0);
+  r.p99_latency_us = hist_.percentile_us(99.0);
+  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  r.requests_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(requests_) / r.wall_seconds : 0.0;
+  r.sim = sim_;
+  r.sim.lpe_utilization =
+      sim_.wavefronts == 0 ? 0.0 : util_weight_ / static_cast<double>(sim_.wavefronts);
+  return r;
+}
+
+void ServeStats::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  hist_ = LatencyHistogram{};
+  requests_ = batches_ = samples_ = lanes_offered_ = 0;
+  sim_ = SimCounters{};
+  util_weight_ = 0.0;
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace lbnn::runtime

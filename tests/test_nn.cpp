@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/bits.hpp"
 #include "netlist/simulate.hpp"
 #include "nn/bnn.hpp"
 #include "nn/dataset.hpp"
@@ -67,7 +68,7 @@ TEST(LogicExport, PopcountCircuitExact) {
       for (std::size_t i = 0; i < out.size(); ++i) {
         if (out[i]) value |= 1u << i;
       }
-      EXPECT_EQ(value, static_cast<std::uint32_t>(std::popcount(m))) << "k=" << k;
+      EXPECT_EQ(value, static_cast<std::uint32_t>(popcount32(m))) << "k=" << k;
     }
   }
 }

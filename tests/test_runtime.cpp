@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/program_cache.hpp"
+#include "runtime/serve_stats.hpp"
+
+namespace lbnn::runtime {
+namespace {
+
+CompileOptions small_lpu() {
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  return opt;  // word width 2m = 16 lanes
+}
+
+std::vector<bool> sample_of(const std::vector<BitVec>& packed, std::size_t lane) {
+  std::vector<bool> bits(packed.size());
+  for (std::size_t pi = 0; pi < packed.size(); ++pi) bits[pi] = packed[pi].get(lane);
+  return bits;
+}
+
+TEST(Engine, BitExactVsDirectSimulator) {
+  Rng gen(11);
+  const Netlist nl = reconvergent_grid(12, 6, gen);
+  const CompileOptions opt = small_lpu();
+
+  const CompileResult direct = compile(nl, opt);
+  LpuSimulator sim(direct.program);
+  Rng rng(12);
+  const std::size_t lanes = direct.program.cfg.effective_word_width();
+  const auto inputs = random_inputs(nl, lanes, rng);
+  const auto expect = sim.run(inputs);
+
+  EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.compile = opt;
+  Engine engine(eopt);
+  const ModelId id = engine.load_model("grid", nl);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futs.push_back(engine.submit(id, sample_of(inputs, lane)));
+  }
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const auto out = futs[lane].get();
+    ASSERT_EQ(out.size(), nl.num_outputs());
+    for (std::size_t po = 0; po < out.size(); ++po) {
+      EXPECT_EQ(out[po], expect[po].get(lane)) << "lane " << lane << " po " << po;
+    }
+  }
+}
+
+TEST(Engine, ParallelAssemblyBitExact) {
+  Rng gen(21);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 10;
+  spec.num_gates = 80;
+  spec.num_outputs = 6;
+  const Netlist nl = random_dag(spec, gen);
+
+  EngineOptions eopt;
+  eopt.num_workers = 3;
+  eopt.compile = small_lpu();
+  Engine engine(eopt);
+  const ModelId id = engine.load_model_parallel("dag", nl, 3);
+
+  Rng rng(22);
+  for (int round = 0; round < 4; ++round) {
+    const auto inputs = random_inputs(nl, 16, rng);
+    std::vector<std::future<std::vector<bool>>> futs;
+    for (std::size_t lane = 0; lane < 16; ++lane) {
+      futs.push_back(engine.submit(id, sample_of(inputs, lane)));
+    }
+    const auto expect = simulate(nl, inputs);
+    for (std::size_t lane = 0; lane < 16; ++lane) {
+      const auto out = futs[lane].get();
+      for (std::size_t po = 0; po < out.size(); ++po) {
+        EXPECT_EQ(out[po], expect[po].get(lane));
+      }
+    }
+  }
+}
+
+TEST(Engine, ConcurrentSubmitStress) {
+  Rng gen(31);
+  const Netlist nl = reconvergent_grid(10, 5, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 4;
+  eopt.batch_timeout = std::chrono::microseconds(100);
+  eopt.compile = small_lpu();
+  Engine engine(eopt);
+  const ModelId id = engine.load_model("grid", nl);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 64;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        std::vector<bool> bits(nl.num_inputs());
+        for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+        const auto expect = simulate_scalar(nl, bits);
+        const auto got = engine.submit(id, bits).get();
+        if (got != expect) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(rep.batches, 1u);
+  EXPECT_LE(rep.p50_latency_us, rep.p99_latency_us);
+}
+
+TEST(Engine, DrainAnswersEverything) {
+  Rng gen(41);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 2;
+  // Long timeout: without drain() the last partial batch would sit for 50 ms.
+  eopt.batch_timeout = std::chrono::milliseconds(50);
+  eopt.compile = small_lpu();
+  Engine engine(eopt);
+  const ModelId id = engine.load_model("grid", nl);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 5; ++i) {
+    futs.push_back(engine.submit(id, std::vector<bool>(nl.num_inputs(), i % 2 != 0)));
+  }
+  engine.drain();
+  for (auto& f : futs) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  }
+}
+
+TEST(Engine, SubmitErrors) {
+  Rng gen(51);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.compile = small_lpu();
+  Engine engine(eopt);
+  const ModelId id = engine.load_model("grid", nl);
+
+  EXPECT_THROW(engine.submit(id + 1, std::vector<bool>(nl.num_inputs())), Error);
+  EXPECT_THROW(engine.submit(id, std::vector<bool>(nl.num_inputs() + 3)), Error);
+  engine.shutdown();
+  EXPECT_THROW(engine.submit(id, std::vector<bool>(nl.num_inputs())), Error);
+}
+
+TEST(Batcher, SealsWhenLanesFill) {
+  std::vector<std::size_t> batch_sizes;
+  Batcher batcher(2, 4, std::chrono::hours(1),
+                  [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 9; ++i) futs.push_back(batcher.submit({true, false}));
+  // 9 submits at capacity 4: two full batches sealed inline, one open.
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4}));
+  EXPECT_TRUE(batcher.deadline().has_value());
+  batcher.flush();
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 1}));
+  EXPECT_FALSE(batcher.deadline().has_value());
+}
+
+TEST(Batcher, SealsOnTimeoutOnly) {
+  std::vector<std::size_t> batch_sizes;
+  Batcher batcher(1, 8, std::chrono::microseconds(500),
+                  [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
+  auto fut = batcher.submit({true});
+  const auto deadline = batcher.deadline();
+  ASSERT_TRUE(deadline.has_value());
+  // Before the deadline nothing seals; after it, the partial batch does.
+  batcher.seal_if_expired(*deadline - std::chrono::microseconds(1));
+  EXPECT_TRUE(batch_sizes.empty());
+  batcher.seal_if_expired(*deadline);
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(batcher.deadline().has_value());
+}
+
+TEST(Batcher, RejectsWrongArity) {
+  Batcher batcher(3, 4, std::chrono::hours(1), [](Batch&&) {});
+  EXPECT_THROW(batcher.submit({true, false}), Error);
+}
+
+TEST(Batcher, PackUnpackRoundTrip) {
+  Rng rng(61);
+  std::vector<Request> requests(5);
+  for (auto& req : requests) {
+    req.inputs.resize(7);
+    for (std::size_t pi = 0; pi < 7; ++pi) req.inputs[pi] = rng.next_bool();
+  }
+  const auto packed = pack_requests(requests, 7);
+  ASSERT_EQ(packed.size(), 7u);
+  for (const auto& word : packed) EXPECT_EQ(word.width(), 5u);
+  for (std::size_t lane = 0; lane < 5; ++lane) {
+    for (std::size_t pi = 0; pi < 7; ++pi) {
+      EXPECT_EQ(packed[pi].get(lane), requests[lane].inputs[pi]);
+    }
+  }
+  // Treat the packed words as outputs: unpack must invert pack.
+  const auto unpacked = unpack_outputs(packed, 5);
+  for (std::size_t lane = 0; lane < 5; ++lane) {
+    EXPECT_EQ(unpacked[lane], requests[lane].inputs);
+  }
+}
+
+TEST(ProgramCache, HitsMissesEvictions) {
+  Rng gen(71);
+  const Netlist a = reconvergent_grid(8, 4, gen);
+  const Netlist b = reconvergent_grid(8, 5, gen);
+  const Netlist c = reconvergent_grid(8, 6, gen);
+  const CompileOptions opt = small_lpu();
+
+  ProgramCache cache(2);
+  const auto a1 = cache.get_or_compile(a, opt);
+  const auto a2 = cache.get_or_compile(a, opt);
+  EXPECT_EQ(a1.get(), a2.get());  // hit returns the same artifact
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  cache.get_or_compile(b, opt);
+  cache.get_or_compile(c, opt);  // evicts a (LRU)
+  s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+
+  // `a` was evicted but a1 stays valid (shared ownership); re-get recompiles.
+  const auto a3 = cache.get_or_compile(a, opt);
+  EXPECT_NE(a1.get(), a3.get());
+  EXPECT_EQ(a1->program.num_wavefronts, a3->program.num_wavefronts);
+  LpuSimulator sanity(a1->program);  // evicted artifact still runs
+  sanity.run(random_inputs(a, 8, gen));
+}
+
+TEST(ProgramCache, DistinguishesOptionsAndParallelK) {
+  Rng gen(81);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 8;
+  spec.num_gates = 40;
+  spec.num_outputs = 4;
+  const Netlist nl = random_dag(spec, gen);
+  ProgramCache cache(8);
+
+  CompileOptions opt = small_lpu();
+  const auto merged = cache.get_or_compile(nl, opt);
+  opt.merge = false;
+  const auto unmerged = cache.get_or_compile(nl, opt);
+  EXPECT_NE(merged.get(), unmerged.get());
+
+  const auto par2 = cache.get_or_compile_parallel(nl, opt, 2);
+  const auto par3 = cache.get_or_compile_parallel(nl, opt, 3);
+  const auto par2again = cache.get_or_compile_parallel(nl, opt, 2);
+  EXPECT_EQ(par2.get(), par2again.get());
+  EXPECT_NE(par2.get(), par3.get());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 4u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(ProgramCache, FingerprintSensitivity) {
+  Rng gen(91);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  const CompileOptions opt = small_lpu();
+  CompileOptions opt2 = opt;
+  opt2.lpu.n = 16;
+  EXPECT_NE(fingerprint(nl, opt), fingerprint(nl, opt2));
+  EXPECT_EQ(fingerprint(nl, opt), fingerprint(nl, opt));
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_us(99.0), 0u);
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  const auto p50 = h.percentile_us(50.0);
+  const auto p99 = h.percentile_us(99.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p50, 256u);   // true p50 is 500 -> bucket [512, 1024)
+  EXPECT_LE(p99, 2048u);  // true p99 is 990, octave resolution
+}
+
+TEST(ServeStats, AggregatesBatchesAndSims) {
+  ServeStats stats;
+  SimCounters c;
+  c.wavefronts = 10;
+  c.lpe_computes = 40;
+  c.lpe_utilization = 0.5;
+  stats.on_sim_run(c);
+  stats.on_sim_run(c);
+  stats.on_batch(12, 16);
+  stats.on_batch(4, 16);
+  stats.on_request_done(100);
+  const ServeReport rep = stats.report();
+  EXPECT_EQ(rep.batches, 2u);
+  EXPECT_EQ(rep.samples, 16u);
+  EXPECT_EQ(rep.lanes_offered, 32u);
+  EXPECT_DOUBLE_EQ(rep.lane_occupancy, 0.5);
+  EXPECT_EQ(rep.sim.wavefronts, 20u);
+  EXPECT_EQ(rep.sim.lpe_computes, 80u);
+  EXPECT_DOUBLE_EQ(rep.sim.lpe_utilization, 0.5);
+  EXPECT_EQ(rep.requests, 1u);
+}
+
+}  // namespace
+}  // namespace lbnn::runtime
