@@ -1,0 +1,180 @@
+// Multi-model fairness: one heavy model saturating the engine vs N light
+// models with latency-sensitive traffic, under the two scheduling policies:
+//
+//   global-fifo     the PR 1 baseline — one global ready queue, so every
+//                   light batch waits behind the heavy model's whole backlog
+//   weighted-fair   per-model queues + stride scheduling (API v2 default) —
+//                   a light batch is dispatched as soon as a worker frees,
+//                   regardless of how deep the heavy backlog is
+//
+//   $ ./serve_fairness [ms_per_mode]
+//
+// The isolation win shows up as the light models' p99 latency dropping by
+// roughly the heavy backlog depth (queue bound / lanes). Absolute numbers
+// depend on the host; on the 1-core dev container both modes serialize onto
+// one worker, which COMPRESSES the gap — run on a multi-core host for the
+// full effect.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "netlist/random_circuits.hpp"
+#include "runtime/engine.hpp"
+
+namespace {
+
+using namespace lbnn;
+using namespace lbnn::runtime;
+
+constexpr int kLightModels = 3;
+
+struct ModeResult {
+  ServeReport report;
+};
+
+ModeResult run_mode(EngineOptions::Scheduling mode, const Netlist& heavy_nl,
+                    const std::vector<Netlist>& light_nls,
+                    std::chrono::milliseconds run_for) {
+  EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.batch_timeout = std::chrono::microseconds(200);
+  eopt.compile.lpu.m = 8;  // 16-lane words: quick compiles, busy batches
+  eopt.compile.lpu.n = 8;
+  eopt.scheduling = mode;
+  Engine engine(eopt);
+
+  ModelOptions heavy_opt;
+  heavy_opt.weight = 1;
+  // A standing backlog of ~8 batches: this is exactly the queue a light
+  // batch would have to wait behind under global FIFO.
+  heavy_opt.queue_bound = 8 * 16;
+  const ModelHandle heavy = engine.load("heavy", heavy_nl, heavy_opt);
+  std::vector<ModelHandle> lights;
+  for (int i = 0; i < kLightModels; ++i) {
+    ModelOptions light_opt;
+    light_opt.weight = 8;
+    lights.push_back(
+        engine.load("light-" + std::to_string(i), light_nls[i], light_opt));
+  }
+
+  std::atomic<bool> stop{false};
+  // Saturator: blocking submits keep the heavy queue pinned at its bound.
+  std::thread saturator([&] {
+    Rng rng(17);
+    std::vector<bool> bits(heavy_nl.num_inputs());
+    while (!stop.load()) {
+      for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+      try {
+        engine.submit(heavy, bits);
+      } catch (const Error&) {
+        break;  // engine shutting down
+      }
+    }
+  });
+  // Light clients: one outstanding request each (latency-sensitive RPC
+  // shape); the request->result time lands in the per-model histogram.
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kLightModels; ++i) {
+    clients.emplace_back([&, i] {
+      std::vector<bool> bits(light_nls[i].num_inputs(), i % 2 != 0);
+      while (!stop.load()) {
+        try {
+          engine.submit(lights[i], bits).get();
+        } catch (const Error&) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(run_for);
+  stop.store(true);
+  saturator.join();
+  for (auto& c : clients) c.join();
+  engine.drain();
+  ModeResult r;
+  r.report = engine.report();
+  engine.shutdown();
+  return r;
+}
+
+const char* mode_name(EngineOptions::Scheduling mode) {
+  return mode == EngineOptions::Scheduling::kGlobalFifo ? "global-fifo"
+                                                        : "weighted-fair";
+}
+
+void print_mode(EngineOptions::Scheduling mode, const ModeResult& r) {
+  std::cout << mode_name(mode) << ":\n";
+  std::cout << std::left << std::setw(12) << "  model" << std::right
+            << std::setw(8) << "weight" << std::setw(10) << "reqs"
+            << std::setw(10) << "p50us" << std::setw(10) << "p99us"
+            << std::setw(9) << "q-hwm" << "\n";
+  for (const ModelReport& m : r.report.per_model) {
+    std::cout << "  " << std::left << std::setw(10) << m.name << std::right
+              << std::setw(8) << m.weight << std::setw(10) << m.requests
+              << std::setw(10) << m.p50_latency_us << std::setw(10)
+              << m.p99_latency_us << std::setw(9) << m.queue_depth_hwm << "\n";
+  }
+  std::cout << "\n";
+}
+
+std::uint64_t worst_light_p99(const ModeResult& r) {
+  std::uint64_t worst = 0;
+  for (const ModelReport& m : r.report.per_model) {
+    if (m.name.rfind("light", 0) == 0 && m.p99_latency_us > worst) {
+      worst = m.p99_latency_us;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long long requested = argc > 1 ? std::atoll(argv[1]) : 400;
+  const auto run_for =
+      std::chrono::milliseconds(requested > 0 ? requested : 400);
+
+  Rng gen(5);
+  // Heavy: a deep grid whose batches occupy a worker for a while. Light:
+  // small distinct circuits (distinct fingerprints — no cache aliasing).
+  const Netlist heavy_nl = reconvergent_grid(64, 16, gen);
+  std::vector<Netlist> light_nls;
+  for (int i = 0; i < kLightModels; ++i) {
+    light_nls.push_back(reconvergent_grid(8, 4 + i, gen));
+  }
+
+  std::cout << "one heavy model (" << heavy_nl.num_gates()
+            << " gates, saturating) + " << kLightModels
+            << " light models (sparse RPCs), " << run_for.count()
+            << " ms per mode, 2 workers on "
+            << std::thread::hardware_concurrency() << " core(s)\n\n";
+
+  const ModeResult fifo = run_mode(EngineOptions::Scheduling::kGlobalFifo,
+                                   heavy_nl, light_nls, run_for);
+  print_mode(EngineOptions::Scheduling::kGlobalFifo, fifo);
+  const ModeResult fair = run_mode(EngineOptions::Scheduling::kWeightedFair,
+                                   heavy_nl, light_nls, run_for);
+  print_mode(EngineOptions::Scheduling::kWeightedFair, fair);
+
+  const std::uint64_t fifo_p99 = worst_light_p99(fifo);
+  const std::uint64_t fair_p99 = worst_light_p99(fair);
+  std::cout << "worst light-model p99 under heavy saturation: "
+            << fifo_p99 << " us (global-fifo) -> " << fair_p99
+            << " us (weighted-fair)";
+  if (fair_p99 > 0 && fifo_p99 >= fair_p99) {
+    std::cout << ", " << std::fixed << std::setprecision(1)
+              << static_cast<double>(fifo_p99) / static_cast<double>(fair_p99)
+              << "x better";
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -86,14 +86,17 @@ int main(int argc, char** argv) {
     eopt.batch_timeout = std::chrono::milliseconds(5);
     eopt.compile = copt;
     Engine engine(eopt);
-    const ModelId id = engine.load_model("grid", nl);
+    // Default queue bound (4 batches deep): the blocking submit() paces the
+    // producer, so the measured rate is steady-state worker throughput, not
+    // a race to enqueue an unbounded backlog.
+    const ModelHandle grid = engine.load("grid", nl);
 
     std::vector<std::future<std::vector<bool>>> futs;
     futs.reserve(batches * lanes);
     const auto start = Clock::now();
     for (std::size_t b = 0; b < batches; ++b) {
       for (std::size_t lane = 0; lane < lanes; ++lane) {
-        futs.push_back(engine.submit(id, requests[lane]));
+        futs.push_back(engine.submit(grid, requests[lane]));
       }
     }
     engine.drain();

@@ -1,11 +1,13 @@
-// Serving quickstart: register models with the batched multi-threaded
-// engine, fire async single-sample requests at them, and read the serving
-// stats. Contrast with examples/quickstart.cpp, which drives one
+// Serving quickstart (API v2): load models into the batched multi-threaded
+// engine via ref-counted handles, fire async single-sample requests at them,
+// exercise bounded admission (try_submit) and unload, and read the per-model
+// serving stats. Contrast with examples/quickstart.cpp, which drives one
 // LpuSimulator synchronously with hand-packed words — here the runtime does
-// the packing, batching, and dispatch.
+// the packing, batching, weighted-fair dispatch, and lifecycle.
 //
 //   $ ./serve_demo
 
+#include <iomanip>
 #include <iostream>
 #include <vector>
 
@@ -13,11 +15,11 @@
 #include "netlist/simulate.hpp"
 #include "runtime/engine.hpp"
 
-int main() {
-  using namespace lbnn;
-  using namespace lbnn::runtime;
+namespace {
 
-  // A 4-bit ripple-carry adder as the served model.
+// A 4-bit ripple-carry adder as the served model.
+lbnn::Netlist build_adder() {
+  using namespace lbnn;
   Netlist nl;
   std::vector<NodeId> a, b;
   for (int i = 0; i < 4; ++i) a.push_back(nl.add_input("a" + std::to_string(i)));
@@ -36,6 +38,18 @@ int main() {
     }
   }
   nl.add_output(carry, "cout");
+  return nl;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbnn;
+  using namespace lbnn::runtime;
+
+  const Netlist adder_nl = build_adder();
+  Rng gen(3);
+  const Netlist grid_nl = reconvergent_grid(10, 5, gen);
 
   EngineOptions opt;
   opt.num_workers = 4;
@@ -44,12 +58,21 @@ int main() {
   opt.compile.lpu.n = 8;
   Engine engine(opt);
 
-  const ModelId adder = engine.load_model("adder4", nl);
+  // load() returns a ref-counted handle carrying per-model QoS options.
+  ModelOptions adder_opt;
+  adder_opt.weight = 4;  // 4x the worker share of the background model
+  const ModelHandle adder = engine.load("adder4", adder_nl, adder_opt);
+  ModelOptions grid_opt;
+  grid_opt.weight = 1;
+  grid_opt.queue_bound = 32;
+  const ModelHandle grid = engine.load("grid", grid_nl, grid_opt);
   // Loading the same netlist again is free: the program cache fingerprints
-  // (netlist, options) and returns the compiled artifact.
-  engine.load_model("adder4-replica", nl);
+  // (netlist, options) and returns the compiled artifact. Concurrent loads of
+  // DISTINCT netlists compile in parallel (see Engine::load_async).
+  const ModelHandle replica = engine.load("adder4-replica", adder_nl);
   std::cout << "cache: " << engine.cache_stats().hits << " hit(s), "
-            << engine.cache_stats().misses << " miss(es)\n";
+            << engine.cache_stats().misses << " miss(es); "
+            << engine.num_models() << " models loaded\n";
 
   // Fire a few adds as independent single-sample requests. The batcher packs
   // them into one 16-lane datapath word; the engine answers futures.
@@ -71,6 +94,23 @@ int main() {
       futs.push_back(engine.submit(adder, encode(3 * av + 1, 2 * bv + 5)));
     }
   }
+  // Background traffic on the second model, via the non-blocking path: a full
+  // queue surfaces as a status, never as an unbounded backlog.
+  unsigned grid_accepted = 0;
+  for (int i = 0; i < 48; ++i) {
+    std::future<std::vector<bool>> fut;
+    const SubmitStatus st = engine.try_submit(
+        grid, std::vector<bool>(grid_nl.num_inputs(), i % 2 != 0), &fut);
+    if (st == SubmitStatus::kAccepted) {
+      ++grid_accepted;
+      futs.push_back(std::move(fut));
+    } else {
+      std::cout << "grid admission: " << to_string(st) << " at request " << i
+                << "\n";
+      break;
+    }
+  }
+
   std::size_t i = 0;
   for (unsigned av = 0; av < 4; ++av) {
     for (unsigned bv = 0; bv < 4; ++bv) {
@@ -88,5 +128,31 @@ int main() {
             << rep.p99_latency_us << " us\n";
   std::cout << "simulated " << rep.sim.clock_cycles << " LPU clock cycles, "
             << rep.sim.lpe_computes << " LPE computes\n";
+
+  // Per-model breakdown: the weighted scheduler's fairness is observable.
+  std::cout << "\n" << std::left << std::setw(16) << "model" << std::right
+            << std::setw(7) << "weight" << std::setw(7) << "bound"
+            << std::setw(9) << "reqs" << std::setw(9) << "p50us"
+            << std::setw(9) << "p99us" << std::setw(7) << "occ%"
+            << std::setw(7) << "q-hwm" << "\n";
+  for (const ModelReport& m : rep.per_model) {
+    std::cout << std::left << std::setw(16) << m.name << std::right
+              << std::setw(7) << m.weight << std::setw(7) << m.queue_bound
+              << std::setw(9) << m.requests << std::setw(9) << m.p50_latency_us
+              << std::setw(9) << m.p99_latency_us << std::setw(7)
+              << static_cast<int>(m.lane_occupancy * 100) << std::setw(7)
+              << m.queue_depth_hwm << "\n";
+  }
+
+  // Lifecycle: unload drains, releases the cache pin, shrinks the registry.
+  engine.unload(grid);
+  engine.unload(replica);
+  std::cout << "\nafter unload: " << engine.num_models()
+            << " model(s) loaded, cache evictions "
+            << engine.cache_stats().evictions << ", stale-handle submit -> ";
+  std::future<std::vector<bool>> stale;
+  std::cout << to_string(engine.try_submit(
+                   grid, std::vector<bool>(grid_nl.num_inputs()), &stale))
+            << "\n";
   return 0;
 }

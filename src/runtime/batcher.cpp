@@ -73,6 +73,11 @@ std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
   return fut;
 }
 
+std::size_t Batcher::open_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return open_.size();
+}
+
 std::optional<Clock::time_point> Batcher::deadline() const {
   std::lock_guard<std::mutex> lk(mu_);
   if (open_.empty()) return std::nullopt;

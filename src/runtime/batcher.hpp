@@ -70,6 +70,10 @@ class Batcher {
   /// Seal whatever is open regardless of deadline (shutdown / drain).
   void flush();
 
+  /// Requests sitting in the open (not yet sealed) batch. Snapshot only — by
+  /// the time the caller looks, a concurrent submit may have sealed it.
+  std::size_t open_count() const;
+
   std::size_t lane_capacity() const { return lane_capacity_; }
   std::size_t num_inputs() const { return num_inputs_; }
 

@@ -3,47 +3,54 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "lpu/simulator.hpp"
 #include "runtime/batcher.hpp"
 
 namespace lbnn::runtime {
 
-/// A registered model: the shared read-only compiled artifact(s) plus the
-/// model's batching queue. Members are the units of dispatch — one for a
-/// single-LPU model, one per assembly member for a parallel model.
-struct Engine::LoadedModel {
-  std::string name;
-  std::size_t num_inputs = 0;
-  std::size_t num_outputs = 0;
+namespace {
 
-  struct Member {
-    const Program* program = nullptr;
-    /// Index maps into the original PI/PO spaces; nullptr means identity
-    /// (single-LPU models serve the whole netlist).
-    const std::vector<std::uint32_t>* pi_indices = nullptr;
-    const std::vector<std::uint32_t>* po_indices = nullptr;
-  };
-  std::vector<Member> members;
+/// Stride scheduling granularity: pass advances by kStrideScale / weight per
+/// dispatched work item, so a weight-w model receives a w-proportional share
+/// of dispatches while backlogged.
+constexpr std::uint64_t kStrideScale = 1ull << 20;
 
-  /// Keep-alive for the Program pointers above; cache eviction must not
-  /// invalidate a model that is still being served.
-  std::shared_ptr<const CompileResult> single_owner;
-  std::shared_ptr<const ParallelCompileResult> parallel_owner;
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
 
-  std::unique_ptr<Batcher> batcher;
-};
+}  // namespace
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kQueueFull:
+      return "queue-full";
+    case SubmitStatus::kUnloaded:
+      return "unloaded";
+    case SubmitStatus::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
 
 /// One sealed batch in flight. Members write disjoint slots of `outputs`
 /// (their own po_indices), so no lock is needed on the data plane; the last
-/// member to finish (members_left) finalizes.
+/// member to finish (members_left) finalizes. Holds a shared_ptr to its
+/// model: an unloading model stays alive until its queued batches resolve.
 struct Engine::BatchWork {
-  LoadedModel* model = nullptr;
+  std::shared_ptr<ModelState> model;
   std::vector<Request> requests;
   std::vector<BitVec> inputs;   ///< packed PIs, width == requests.size()
   std::vector<BitVec> outputs;  ///< original PO order
@@ -56,15 +63,98 @@ struct Engine::BatchWork {
 struct Engine::WorkItem {
   std::shared_ptr<BatchWork> work;
   std::size_t member = 0;
+  std::uint64_t seq = 0;  ///< global enqueue order, for kGlobalFifo
 };
+
+/// A loaded model: the shared read-only compiled artifact(s), the model's
+/// batching queue, its admission state (bounded outstanding count), and its
+/// slot in the weighted-fair scheduler. Members are the units of dispatch —
+/// one for a single-LPU model, one per assembly member for a parallel model.
+///
+/// Lock order: the admission plane (mu/cv/outstanding) and the scheduler
+/// plane (ready/pass/in_ready_list, guarded by the engine's queue_mu) are
+/// disjoint; no code path holds both locks at once.
+struct ModelState {
+  // Immutable after registration.
+  std::uint64_t id = 0;
+  std::string name;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::uint64_t cache_key = 0;  ///< released on unload (unless key-sharing)
+  Engine* engine = nullptr;
+  std::uint32_t weight = 1;
+  std::uint64_t stride = kStrideScale;
+  std::size_t queue_bound = 0;
+
+  struct Member {
+    const Program* program = nullptr;
+    /// Index maps into the original PI/PO spaces; nullptr means identity
+    /// (single-LPU models serve the whole netlist).
+    const std::vector<std::uint32_t>* pi_indices = nullptr;
+    const std::vector<std::uint32_t>* po_indices = nullptr;
+  };
+  std::vector<Member> members;
+
+  /// Keep-alive for the Program pointers above; cache eviction (including the
+  /// unload path) must not invalidate a model that is still being served or
+  /// whose handle is still held.
+  std::shared_ptr<const CompileResult> single_owner;
+  std::shared_ptr<const ParallelCompileResult> parallel_owner;
+
+  std::unique_ptr<Batcher> batcher;
+  std::weak_ptr<ModelState> self;  ///< for keep-alive refs in BatchWork
+
+  // Admission plane. `accepting` is atomic so handle queries need no lock,
+  // but it is only WRITTEN under mu (the cv's lost-wakeup rule).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;  ///< accepted, not yet answered
+  std::atomic<bool> accepting{true};
+
+  // Scheduler plane — guarded by the engine's queue_mu.
+  std::deque<Engine::WorkItem> ready;
+  std::uint64_t pass = 0;
+  bool in_ready_list = false;
+
+  std::atomic<std::int64_t> last_used_us{0};  ///< admission time, for evict_idle
+
+  ModelStats stats;
+};
+
+namespace {
+
+const ModelState& deref(const std::shared_ptr<ModelState>& state) {
+  if (!state) throw Error("empty model handle");
+  return *state;
+}
+
+}  // namespace
+
+const std::string& ModelHandle::name() const { return deref(state_).name; }
+std::size_t ModelHandle::num_inputs() const { return deref(state_).num_inputs; }
+std::size_t ModelHandle::num_outputs() const { return deref(state_).num_outputs; }
+std::uint32_t ModelHandle::weight() const { return deref(state_).weight; }
+std::size_t ModelHandle::queue_bound() const { return deref(state_).queue_bound; }
+bool ModelHandle::loaded() const {
+  return state_ != nullptr && state_->accepting.load();
+}
 
 struct Engine::Impl {
   mutable std::mutex models_mu;
-  std::vector<std::unique_ptr<LoadedModel>> models;
+  /// Ordered by id == load order, so reports list models stably. unload()
+  /// erases — the registry finally shrinks.
+  std::map<std::uint64_t, std::shared_ptr<ModelState>> registry;
+  std::uint64_t next_model_id = 1;
+  /// v1 shim: ModelId -> handle, append-only so ids stay stable.
+  std::vector<ModelHandle> legacy;
 
+  /// Scheduler: models with a non-empty ready deque. Workers pick the lowest
+  /// pass (weighted-fair) or the oldest front item (global FIFO).
   std::mutex queue_mu;
   std::condition_variable queue_cv;
-  std::deque<WorkItem> queue;
+  std::vector<ModelState*> ready_models;
+  std::uint64_t vtime = 0;  ///< pass of the most recently dispatched item
+  std::uint64_t next_seq = 0;
   bool stopping = false;
 
   /// The timekeeper sleeps until the earliest open-batch deadline; submit
@@ -79,6 +169,15 @@ struct Engine::Impl {
   std::condition_variable drain_cv;
 
   std::atomic<bool> accepting{true};
+
+  /// Programs of unloaded models, append-only. Workers cache one simulator
+  /// per Program* they have served; without pruning, an unload would leak
+  /// those simulators AND leave dangling-pointer keys that a later Program
+  /// allocated at the same address could falsely hit. Each worker consumes
+  /// this list (tracking its own position) before every sims-cache lookup.
+  std::mutex retired_mu;
+  std::vector<const Program*> retired_programs;
+  std::atomic<std::size_t> retired_count{0};
 };
 
 Engine::Engine(const EngineOptions& options)
@@ -112,76 +211,162 @@ Engine::Engine(const EngineOptions& options)
 
 Engine::~Engine() { shutdown(); }
 
-ModelId Engine::register_model(std::unique_ptr<LoadedModel> model,
-                               std::size_t lane_capacity) {
-  LoadedModel* raw = model.get();
-  raw->batcher = std::make_unique<Batcher>(
-      raw->num_inputs, lane_capacity, options_.batch_timeout,
+ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
+                                   std::size_t lane_capacity,
+                                   const ModelOptions& mopt) {
+  state->engine = this;
+  state->weight = mopt.weight == 0 ? 1 : mopt.weight;
+  // Floor of 1: a stride of 0 (weight > kStrideScale) would freeze the
+  // model's pass at the minimum and starve every other model forever.
+  state->stride = kStrideScale / state->weight;
+  if (state->stride == 0) state->stride = 1;
+  std::size_t bound = mopt.queue_bound;
+  if (bound == 0) bound = options_.default_queue_bound;
+  if (bound == 0) bound = 4 * lane_capacity;
+  state->queue_bound = bound;
+  state->self = state;
+  state->last_used_us.store(now_us());
+  ModelState* raw = state.get();
+  state->batcher = std::make_unique<Batcher>(
+      state->num_inputs, lane_capacity, options_.batch_timeout,
       [this, raw](Batch&& batch) { enqueue_batch(*raw, std::move(batch)); });
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  impl_->models.push_back(std::move(model));
-  return static_cast<ModelId>(impl_->models.size() - 1);
+  {
+    std::lock_guard<std::mutex> lk(impl_->models_mu);
+    if (!impl_->accepting.load()) throw Error("engine is shut down");
+    state->id = impl_->next_model_id++;
+    impl_->registry.emplace(state->id, state);
+  }
+  return ModelHandle(std::move(state));
 }
 
-ModelId Engine::load_model(const std::string& name, const Netlist& nl) {
-  auto compiled = cache_.get_or_compile(nl, options_.compile);
-  auto model = std::make_unique<LoadedModel>();
-  model->name = name;
-  model->num_inputs = nl.num_inputs();
-  model->num_outputs = nl.num_outputs();
-  model->single_owner = compiled;
-  model->members.push_back({&compiled->program, nullptr, nullptr});
-  return register_model(std::move(model),
-                        compiled->program.cfg.effective_word_width());
+ModelHandle Engine::load(const std::string& name, const Netlist& nl,
+                         const ModelOptions& mopt) {
+  std::uint64_t key = 0;
+  auto compiled = cache_.get_or_compile(nl, options_.compile, &key);
+  auto state = std::make_shared<ModelState>();
+  state->name = name;
+  state->num_inputs = nl.num_inputs();
+  state->num_outputs = nl.num_outputs();
+  state->cache_key = key;
+  state->single_owner = compiled;
+  state->members.push_back({&compiled->program, nullptr, nullptr});
+  return register_model(std::move(state),
+                        compiled->program.cfg.effective_word_width(), mopt);
 }
 
-ModelId Engine::load_model_parallel(const std::string& name, const Netlist& nl,
-                                    std::uint32_t parallel_lpus) {
+ModelHandle Engine::load_parallel(const std::string& name, const Netlist& nl,
+                                  std::uint32_t parallel_lpus,
+                                  const ModelOptions& mopt) {
+  std::uint64_t key = 0;
   auto compiled =
-      cache_.get_or_compile_parallel(nl, options_.compile, parallel_lpus);
-  auto model = std::make_unique<LoadedModel>();
-  model->name = name;
-  model->num_inputs = nl.num_inputs();
-  model->num_outputs = nl.num_outputs();
-  model->parallel_owner = compiled;
+      cache_.get_or_compile_parallel(nl, options_.compile, parallel_lpus, &key);
+  auto state = std::make_shared<ModelState>();
+  state->name = name;
+  state->num_inputs = nl.num_inputs();
+  state->num_outputs = nl.num_outputs();
+  state->cache_key = key;
+  state->parallel_owner = compiled;
   for (const auto& member : compiled->members) {
-    model->members.push_back(
+    state->members.push_back(
         {&member.program, &member.pi_indices, &member.po_indices});
   }
   return register_model(
-      std::move(model),
-      compiled->members.front().program.cfg.effective_word_width());
+      std::move(state),
+      compiled->members.front().program.cfg.effective_word_width(), mopt);
 }
 
-Engine::LoadedModel& Engine::model_at(ModelId model) const {
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  if (model >= impl_->models.size()) {
-    throw Error("unknown model id " + std::to_string(model));
+std::future<ModelHandle> Engine::load_async(std::string name, Netlist nl,
+                                            ModelOptions mopt) {
+  // Compilation no longer holds the cache lock, so concurrent async loads of
+  // distinct models genuinely overlap; same-key loads join one compile.
+  return std::async(std::launch::async,
+                    [this, name = std::move(name), nl = std::move(nl), mopt] {
+                      return load(name, nl, mopt);
+                    });
+}
+
+ModelState* Engine::state_of(const ModelHandle& handle) const {
+  if (!handle.state_) throw Error("empty model handle");
+  if (handle.state_->engine != this) {
+    throw Error("model handle belongs to a different engine");
   }
-  return *impl_->models[model];
+  return handle.state_.get();
 }
 
-const std::string& Engine::model_name(ModelId model) const {
-  return model_at(model).name;
+std::vector<std::shared_ptr<ModelState>> Engine::model_snapshot() const {
+  std::vector<std::shared_ptr<ModelState>> out;
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  out.reserve(impl_->registry.size());
+  for (const auto& [id, state] : impl_->registry) out.push_back(state);
+  return out;
 }
 
-std::future<std::vector<bool>> Engine::submit(ModelId model,
+std::size_t Engine::num_models() const {
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  return impl_->registry.size();
+}
+
+namespace {
+
+/// Arity is a usage bug: reject before claiming admission (a wrong-arity
+/// blocking submit must throw immediately, not park on backpressure first).
+void check_arity(const ModelState& m, std::size_t got) {
+  if (got != m.num_inputs) {
+    throw Error("request has " + std::to_string(got) +
+                " input bits, model expects " + std::to_string(m.num_inputs));
+  }
+}
+
+}  // namespace
+
+std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
                                               std::vector<bool> inputs) {
-  LoadedModel& lm = model_at(model);
-  // Claim the request BEFORE the accepting check: shutdown() flips accepting
+  ModelState* m = state_of(model);
+  check_arity(*m, inputs.size());
+  // Claim the request BEFORE the accepting checks: shutdown() flips accepting
   // and then drains, so either this claim lands before drain's in_flight read
   // (drain waits for us; timer/workers stay alive until we're answered) or it
   // lands after, in which case accepting is already false here and we bail.
   impl_->in_flight.fetch_add(1);
-  if (!impl_->accepting.load()) {
-    release_requests(1);
-    throw Error("engine is shut down");
+  {
+    std::unique_lock<std::mutex> lk(m->mu);
+    // Backpressure: wait for an admission slot instead of growing unboundedly.
+    m->cv.wait(lk, [&] {
+      return !impl_->accepting.load() || !m->accepting.load() ||
+             m->outstanding < m->queue_bound;
+    });
+    if (!impl_->accepting.load()) {
+      lk.unlock();
+      release_requests(1);
+      throw Error("engine is shut down");
+    }
+    if (!m->accepting.load()) {
+      lk.unlock();
+      release_requests(1);
+      throw Error("model '" + m->name + "' is unloaded");
+    }
+    ++m->outstanding;
   }
+  return dispatch_admitted(m, std::move(inputs));
+}
+
+/// Post-admission tail shared by submit() and try_submit(). The caller has
+/// claimed in_flight and incremented m->outstanding; this hands the request
+/// to the batcher (rolling both claims back if it throws) and re-arms the
+/// timekeeper when a new batch deadline appeared.
+std::future<std::vector<bool>> Engine::dispatch_admitted(
+    ModelState* m, std::vector<bool>&& inputs) {
+  m->last_used_us.store(now_us());
   std::future<std::vector<bool>> fut;
   bool opened_batch = false;
   try {
-    fut = lm.batcher->submit(std::move(inputs), &opened_batch);
+    fut = m->batcher->submit(std::move(inputs), &opened_batch);
   } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(m->mu);
+      --m->outstanding;
+    }
+    m->cv.notify_all();
     release_requests(1);
     throw;
   }
@@ -196,20 +381,128 @@ std::future<std::vector<bool>> Engine::submit(ModelId model,
   return fut;
 }
 
-void Engine::enqueue_batch(LoadedModel& model, Batch&& batch) {
+SubmitStatus Engine::try_submit(const ModelHandle& model,
+                                std::vector<bool> inputs,
+                                std::future<std::vector<bool>>* result) {
+  ModelState* m = state_of(model);
+  check_arity(*m, inputs.size());
+  impl_->in_flight.fetch_add(1);  // same claim-first rationale as submit()
+  {
+    std::lock_guard<std::mutex> lk(m->mu);
+    if (!impl_->accepting.load()) {
+      release_requests(1);
+      return SubmitStatus::kShuttingDown;
+    }
+    if (!m->accepting.load()) {
+      release_requests(1);
+      return SubmitStatus::kUnloaded;
+    }
+    if (m->outstanding >= m->queue_bound) {
+      release_requests(1);
+      return SubmitStatus::kQueueFull;
+    }
+    ++m->outstanding;
+  }
+  *result = dispatch_admitted(m, std::move(inputs));
+  return SubmitStatus::kAccepted;
+}
+
+bool Engine::unload(const ModelHandle& model) {
+  if (!model.state_) return false;
+  ModelState* m = state_of(model);
+  {
+    std::lock_guard<std::mutex> lk(m->mu);
+    if (!m->accepting.load()) return false;  // lost a concurrent unload race
+    m->accepting.store(false);
+  }
+  m->cv.notify_all();  // blocked submitters observe !accepting and bail
+  // Drain the model's outstanding requests: every accepted future resolves
+  // before the model leaves the registry. The flush runs in a short poll loop
+  // because a submitter that won admission just before the flag flipped may
+  // append to a NEW open batch after a single flush (and the engine-wide
+  // batch timeout may be arbitrarily long).
+  {
+    std::unique_lock<std::mutex> lk(m->mu);
+    while (m->outstanding != 0) {
+      lk.unlock();
+      m->batcher->flush();
+      lk.lock();
+      m->cv.wait_for(lk, std::chrono::milliseconds(1),
+                     [&] { return m->outstanding == 0; });
+    }
+  }
+  // Retire the model's programs so workers drop their cached simulators for
+  // them (a shared-key replica that is still loaded just recreates its
+  // simulator on the next batch — a minor cost, never a correctness issue).
+  {
+    std::lock_guard<std::mutex> lk(impl_->retired_mu);
+    for (const auto& member : m->members) {
+      impl_->retired_programs.push_back(member.program);
+    }
+    impl_->retired_count.store(impl_->retired_programs.size());
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->models_mu);
+    impl_->registry.erase(m->id);
+    // Release the cache's pin on this model's program — unless another loaded
+    // model (a replica) shares the key and still wants the cached artifact.
+    // (A same-key load that has compiled but not yet registered is invisible
+    // to this scan; it keeps its own pin, so the only cost of that rare race
+    // is a spurious recompile on a later load.)
+    bool key_shared = false;
+    for (const auto& [id, other] : impl_->registry) {
+      if (other->cache_key == m->cache_key) {
+        key_shared = true;
+        break;
+      }
+    }
+    if (!key_shared) cache_.erase(m->cache_key);
+  }
+  return true;
+}
+
+std::size_t Engine::evict_idle(std::chrono::steady_clock::duration min_idle) {
+  const std::int64_t cutoff =
+      now_us() -
+      std::chrono::duration_cast<std::chrono::microseconds>(min_idle).count();
+  std::size_t evicted = 0;
+  for (const auto& m : model_snapshot()) {
+    if (m->last_used_us.load() > cutoff) continue;
+    {
+      std::lock_guard<std::mutex> lk(m->mu);
+      if (m->outstanding != 0) continue;  // actively serving; not idle
+    }
+    if (unload(ModelHandle(m))) ++evicted;
+  }
+  return evicted;
+}
+
+void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
+  std::shared_ptr<ModelState> self = model.self.lock();
+  LBNN_CHECK(self != nullptr, "batcher outlived its model state");
   auto work = std::make_shared<BatchWork>();
-  work->model = &model;
+  work->model = std::move(self);
   work->requests = std::move(batch.requests);
   work->inputs = pack_requests(work->requests, model.num_inputs);
   work->outputs.assign(model.num_outputs, BitVec(work->requests.size()));
   work->members_left.store(model.members.size());
+  const std::size_t items = model.members.size();
   {
     std::lock_guard<std::mutex> lk(impl_->queue_mu);
-    for (std::size_t m = 0; m < model.members.size(); ++m) {
-      impl_->queue.push_back({work, m});
+    for (std::size_t mbr = 0; mbr < items; ++mbr) {
+      model.ready.push_back({work, mbr, impl_->next_seq++});
     }
+    if (!model.in_ready_list) {
+      // A model re-entering the ready set starts at the current virtual time,
+      // not its stale pass — otherwise it would monopolize workers to "catch
+      // up" for the interval it had nothing queued.
+      if (model.pass < impl_->vtime) model.pass = impl_->vtime;
+      impl_->ready_models.push_back(&model);
+      model.in_ready_list = true;
+    }
+    model.stats.on_queue_depth(model.ready.size());
   }
-  if (model.members.size() == 1) {
+  if (items == 1) {
     impl_->queue_cv.notify_one();
   } else {
     impl_->queue_cv.notify_all();
@@ -220,19 +513,48 @@ void Engine::worker_loop() {
   // Each worker owns its simulators (keyed by the shared Program) — the
   // Program is read-only, all mutable run state lives in the simulator.
   std::unordered_map<const Program*, std::unique_ptr<LpuSimulator>> sims;
+  std::size_t retired_seen = 0;  ///< position consumed in retired_programs
+  const bool fifo =
+      options_.scheduling == EngineOptions::Scheduling::kGlobalFifo;
   for (;;) {
     WorkItem item;
     {
       std::unique_lock<std::mutex> lk(impl_->queue_mu);
-      impl_->queue_cv.wait(
-          lk, [this] { return impl_->stopping || !impl_->queue.empty(); });
-      if (impl_->queue.empty()) return;
-      item = std::move(impl_->queue.front());
-      impl_->queue.pop_front();
+      impl_->queue_cv.wait(lk, [this] {
+        return impl_->stopping || !impl_->ready_models.empty();
+      });
+      if (impl_->ready_models.empty()) return;  // stopping, all work done
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < impl_->ready_models.size(); ++i) {
+        const ModelState* a = impl_->ready_models[i];
+        const ModelState* b = impl_->ready_models[best];
+        const bool better = fifo ? a->ready.front().seq < b->ready.front().seq
+                                 : a->pass < b->pass;
+        if (better) best = i;
+      }
+      ModelState* m = impl_->ready_models[best];
+      item = std::move(m->ready.front());
+      m->ready.pop_front();
+      impl_->vtime = m->pass;
+      m->pass += m->stride;
+      if (m->ready.empty()) {
+        impl_->ready_models[best] = impl_->ready_models.back();
+        impl_->ready_models.pop_back();
+        m->in_ready_list = false;
+      }
+    }
+
+    // Drop simulators of unloaded models BEFORE the lookup below: a stale
+    // entry is a leak, and its key may alias a newly compiled Program.
+    if (impl_->retired_count.load() != retired_seen) {
+      std::lock_guard<std::mutex> lk(impl_->retired_mu);
+      for (; retired_seen < impl_->retired_programs.size(); ++retired_seen) {
+        sims.erase(impl_->retired_programs[retired_seen]);
+      }
     }
 
     BatchWork& work = *item.work;
-    const LoadedModel::Member& member = work.model->members[item.member];
+    const ModelState::Member& member = work.model->members[item.member];
     try {
       auto& sim = sims[member.program];
       if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
@@ -270,12 +592,14 @@ void Engine::worker_loop() {
 }
 
 void Engine::finalize(BatchWork& work) {
+  ModelState& m = *work.model;
   const Clock::time_point now = Clock::now();
   // Stats are recorded BEFORE any future resolves: a client that wakes from
   // .get() and immediately calls report() must see its request counted.
   if (work.failed.load()) {
     // The batch ran (and wasted its lanes) but produced no samples.
-    stats_.on_batch(0, work.model->batcher->lane_capacity());
+    stats_.on_batch(0, m.batcher->lane_capacity());
+    m.stats.on_batch(0, m.batcher->lane_capacity());
     for (auto& req : work.requests) {
       req.result.set_exception(
           std::make_exception_ptr(Error("batch failed: " + work.error)));
@@ -289,13 +613,21 @@ void Engine::finalize(BatchWork& work) {
       latencies.push_back(static_cast<std::uint64_t>(latency.count()));
     }
     stats_.on_requests_done(latencies);
-    stats_.on_batch(work.requests.size(), work.model->batcher->lane_capacity());
+    m.stats.on_requests_done(latencies);
+    stats_.on_batch(work.requests.size(), m.batcher->lane_capacity());
+    m.stats.on_batch(work.requests.size(), m.batcher->lane_capacity());
     auto per_request = unpack_outputs(work.outputs, work.requests.size());
     for (std::size_t i = 0; i < work.requests.size(); ++i) {
       work.requests[i].result.set_value(std::move(per_request[i]));
     }
   }
-  release_requests(work.requests.size());
+  const std::size_t n = work.requests.size();
+  {
+    std::lock_guard<std::mutex> lk(m.mu);
+    m.outstanding -= n;
+  }
+  m.cv.notify_all();  // free admission slots (backpressure) and unload waits
+  release_requests(n);
 }
 
 void Engine::release_requests(std::size_t n) {
@@ -312,8 +644,9 @@ void Engine::timer_loop() {
     const std::uint64_t seen = impl_->timer_epoch;
 
     std::optional<Clock::time_point> earliest;
-    for (Batcher* b : batchers()) {
-      const auto d = b->deadline();
+    auto models = model_snapshot();
+    for (const auto& m : models) {
+      const auto d = m->batcher->deadline();
       if (d && (!earliest || *d < *earliest)) earliest = d;
     }
 
@@ -326,9 +659,9 @@ void Engine::timer_loop() {
       lk.unlock();
       const Clock::time_point now = Clock::now();
       // Seal outside models_mu: on_seal packs the whole batch, and submit()
-      // needs models_mu for every lookup — batcher pointers are stable
-      // (models are append-only for the engine's lifetime).
-      for (Batcher* b : batchers()) b->seal_if_expired(now);
+      // needs no registry lock but loads/unloads do — the snapshot's
+      // shared_ptrs keep every batcher alive across the seal.
+      for (const auto& m : models) m->batcher->seal_if_expired(now);
       lk.lock();
     } else {
       impl_->timer_cv.wait(lk, woken);
@@ -336,22 +669,42 @@ void Engine::timer_loop() {
   }
 }
 
-std::vector<Batcher*> Engine::batchers() const {
-  std::vector<Batcher*> out;
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  out.reserve(impl_->models.size());
-  for (const auto& m : impl_->models) out.push_back(m->batcher.get());
-  return out;
+ServeReport Engine::report() const {
+  ServeReport r = stats_.report();
+  for (const auto& m : model_snapshot()) {
+    ModelReport mr = m->stats.report();
+    mr.name = m->name;
+    mr.weight = m->weight;
+    mr.queue_bound = m->queue_bound;
+    r.per_model.push_back(std::move(mr));
+  }
+  return r;
 }
 
 void Engine::drain() {
-  for (Batcher* b : batchers()) b->flush();
+  // Flush-and-wait in a short poll loop: a submitter that won admission
+  // concurrently with the flush may open a fresh batch right after it, and
+  // the batch timeout may be arbitrarily long.
   std::unique_lock<std::mutex> lk(impl_->drain_mu);
-  impl_->drain_cv.wait(lk, [this] { return impl_->in_flight.load() == 0; });
+  while (impl_->in_flight.load() != 0) {
+    lk.unlock();
+    for (const auto& m : model_snapshot()) m->batcher->flush();
+    lk.lock();
+    impl_->drain_cv.wait_for(lk, std::chrono::milliseconds(1),
+                             [this] { return impl_->in_flight.load() == 0; });
+  }
 }
 
 void Engine::shutdown() {
   impl_->accepting.store(false);
+  // Wake submitters blocked on per-model backpressure so they observe the
+  // shutdown and release their in-flight claims — drain() below waits on
+  // those claims. The empty lock acquisition pairs with the cv wait to rule
+  // out the flip landing between a waiter's predicate check and its sleep.
+  for (const auto& m : model_snapshot()) {
+    { std::lock_guard<std::mutex> lk(m->mu); }
+    m->cv.notify_all();
+  }
   drain();
   {
     std::lock_guard<std::mutex> lk(impl_->timer_mu);
@@ -367,6 +720,42 @@ void Engine::shutdown() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
+}
+
+// ------------------------------------------------------------------ v1 shim
+
+ModelHandle Engine::legacy_at(ModelId model) const {
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  if (model >= impl_->legacy.size()) {
+    throw Error("unknown model id " + std::to_string(model));
+  }
+  return impl_->legacy[model];
+}
+
+ModelId Engine::load_model(const std::string& name, const Netlist& nl) {
+  ModelHandle handle = load(name, nl);
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  impl_->legacy.push_back(std::move(handle));
+  return static_cast<ModelId>(impl_->legacy.size() - 1);
+}
+
+ModelId Engine::load_model_parallel(const std::string& name, const Netlist& nl,
+                                    std::uint32_t parallel_lpus) {
+  ModelHandle handle = load_parallel(name, nl, parallel_lpus);
+  std::lock_guard<std::mutex> lk(impl_->models_mu);
+  impl_->legacy.push_back(std::move(handle));
+  return static_cast<ModelId>(impl_->legacy.size() - 1);
+}
+
+std::future<std::vector<bool>> Engine::submit(ModelId model,
+                                              std::vector<bool> inputs) {
+  return submit(legacy_at(model), std::move(inputs));
+}
+
+const std::string& Engine::model_name(ModelId model) const {
+  // The legacy table pins the state, so the reference stays valid even after
+  // a v2 unload of the same model.
+  return legacy_at(model).name();
 }
 
 }  // namespace lbnn::runtime

@@ -16,7 +16,59 @@
 
 namespace lbnn::runtime {
 
+/// Legacy (v1) model identifier — see the deprecated shim at the bottom of
+/// Engine. New code uses ModelHandle.
 using ModelId = std::uint32_t;
+
+/// Outcome of a non-blocking admission attempt.
+enum class SubmitStatus : std::uint8_t {
+  kAccepted,      ///< request admitted; the future will resolve
+  kQueueFull,     ///< the model's queue bound is reached; try again later
+  kUnloaded,      ///< the handle's model has been unloaded from this engine
+  kShuttingDown,  ///< the engine is shutting down
+};
+
+const char* to_string(SubmitStatus status);
+
+/// Per-model serving options, fixed at load time.
+struct ModelOptions {
+  /// Maximum outstanding (accepted but unanswered) requests for this model.
+  /// submit() blocks when the bound is reached — real backpressure instead of
+  /// unbounded in-flight growth — and try_submit() returns kQueueFull.
+  /// 0 means the engine default (EngineOptions::default_queue_bound).
+  std::size_t queue_bound = 0;
+  /// Weighted-fair share of worker time relative to the other loaded models
+  /// (stride scheduling): with both backlogged, a weight-4 model is
+  /// dispatched 4x as often as a weight-1 model. 0 is treated as 1.
+  std::uint32_t weight = 1;
+};
+
+struct ModelState;  // internal; defined in engine.cpp
+
+/// Ref-counted reference to a model loaded into an Engine. Copyable and
+/// cheap; the last copy (together with the engine's registry entry) keeps the
+/// compiled program alive, so a handle held across unload() never dangles —
+/// submits to it just fail with kUnloaded. A default-constructed handle is
+/// empty. Handles are engine-specific: passing one to a different Engine
+/// throws.
+class ModelHandle {
+ public:
+  ModelHandle() = default;
+
+  explicit operator bool() const { return state_ != nullptr; }
+  const std::string& name() const;
+  std::size_t num_inputs() const;
+  std::size_t num_outputs() const;
+  std::uint32_t weight() const;
+  std::size_t queue_bound() const;
+  /// False once unload() has begun on this model (submits will be rejected).
+  bool loaded() const;
+
+ private:
+  friend class Engine;
+  explicit ModelHandle(std::shared_ptr<ModelState> state) : state_(std::move(state)) {}
+  std::shared_ptr<ModelState> state_;
+};
 
 struct EngineOptions {
   /// Worker threads, each owning its own LpuSimulators. 0 means
@@ -24,10 +76,24 @@ struct EngineOptions {
   std::uint32_t num_workers = 0;
   /// How long a partial batch may wait for more requests before it runs.
   std::chrono::microseconds batch_timeout{200};
-  /// Compiled-program LRU capacity (shared across all loads).
+  /// Compiled-program LRU capacity (shared across all loads). 0 makes the
+  /// cache a pass-through (compile, don't retain).
   std::size_t cache_capacity = 16;
-  /// Compile flow configuration for every load_model call.
+  /// Compile flow configuration for every load call.
   CompileOptions compile;
+  /// How workers pick among models with queued work.
+  enum class Scheduling : std::uint8_t {
+    /// Stride scheduling over ModelOptions::weight: backlogged heavy models
+    /// cannot starve light ones (the v2 default).
+    kWeightedFair,
+    /// Oldest sealed batch first across all models — the PR 1 single global
+    /// ready queue, kept as the fairness baseline (see bench/serve_fairness).
+    kGlobalFifo,
+  };
+  Scheduling scheduling = Scheduling::kWeightedFair;
+  /// ModelOptions::queue_bound fallback when a load leaves it 0; 0 here means
+  /// 4x the model's lane capacity (a few batches of headroom).
+  std::size_t default_queue_bound = 0;
 };
 
 /// Batched multi-threaded serving engine over the LPU toolchain.
@@ -36,10 +102,17 @@ struct EngineOptions {
 /// worker thread wraps the shared Program in its own LpuSimulator (simulators
 /// carry per-run scratch state, programs are read-only); a per-model Batcher
 /// packs single-sample requests into the 2m bit lanes of one datapath word;
-/// sealed batches go to a single ready queue that idle workers pull from —
-/// pull scheduling IS least-loaded dispatch, across workers and, for
-/// multi-LPU models, across the assembly's members (each member of a batch is
-/// an independently pullable work item).
+/// sealed batches land in their model's bounded ready queue, and workers pick
+/// the next queue by weighted-fair (stride) scheduling — so a backlogged
+/// heavy model cannot starve light ones, and each model's admission bound
+/// exerts backpressure on its own clients only. For multi-LPU models every
+/// assembly member is an independently dispatchable work item.
+///
+/// Lifecycle: load() / load_parallel() / load_async() return ref-counted
+/// ModelHandles; unload() (or evict_idle()) drains a model's outstanding
+/// work, releases its program-cache pin, and shrinks the registry. A handle
+/// kept across unload stays safe — it pins the compiled artifact and reports
+/// loaded() == false.
 ///
 /// Thread-safety: every public method may be called from any thread.
 /// Destruction drains in-flight work, then joins all threads.
@@ -51,18 +124,46 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Compile (or fetch from the program cache) and register a model.
-  ModelId load_model(const std::string& name, const Netlist& nl);
+  /// Compile (or fetch from the program cache — concurrent loads of distinct
+  /// models compile in parallel, same-key loads dedup) and register a model.
+  ModelHandle load(const std::string& name, const Netlist& nl,
+                   const ModelOptions& mopt = {});
 
   /// Same, but compiled as a `parallel_lpus`-way parallel LPU assembly
   /// (Sec. III); each member runs as an independent work item.
-  ModelId load_model_parallel(const std::string& name, const Netlist& nl,
-                              std::uint32_t parallel_lpus);
+  ModelHandle load_parallel(const std::string& name, const Netlist& nl,
+                            std::uint32_t parallel_lpus,
+                            const ModelOptions& mopt = {});
+
+  /// load() on a background thread; the future rethrows compile errors. The
+  /// engine must outlive the returned future's completion.
+  std::future<ModelHandle> load_async(std::string name, Netlist nl,
+                                      ModelOptions mopt = {});
 
   /// Submit one sample (one Boolean per primary input). The future resolves
   /// to one Boolean per primary output once the sample's batch has run.
-  /// Throws lbnn::Error on unknown model, arity mismatch, or after shutdown.
-  std::future<std::vector<bool>> submit(ModelId model, std::vector<bool> inputs);
+  /// Blocks while the model's queue bound is reached (backpressure). Throws
+  /// lbnn::Error on an empty/foreign handle, arity mismatch, unloaded model,
+  /// or engine shutdown.
+  std::future<std::vector<bool>> submit(const ModelHandle& model,
+                                        std::vector<bool> inputs);
+
+  /// Non-blocking submit: never waits for queue space. On kAccepted, *result
+  /// holds the future; any other status leaves *result untouched. Throws only
+  /// on usage bugs (empty/foreign handle, arity mismatch).
+  SubmitStatus try_submit(const ModelHandle& model, std::vector<bool> inputs,
+                          std::future<std::vector<bool>>* result);
+
+  /// Stop admitting to this model, drain its outstanding requests (every
+  /// accepted future still resolves), release its program-cache pin, and
+  /// remove it from the registry. Blocks until the drain completes. Returns
+  /// false if the handle is empty or the model was already unloaded
+  /// (concurrent unloads: exactly one caller gets true).
+  bool unload(const ModelHandle& model);
+
+  /// unload() every model whose last accepted request (or load) is at least
+  /// `min_idle` old. Returns how many models were evicted.
+  std::size_t evict_idle(std::chrono::steady_clock::duration min_idle);
 
   /// Seal all partial batches and block until every accepted request has
   /// been answered.
@@ -72,29 +173,50 @@ class Engine {
   /// calls it.
   void shutdown();
 
-  ServeReport report() const { return stats_.report(); }
+  ServeReport report() const;
   CacheStats cache_stats() const { return cache_.stats(); }
+  /// The engine's program cache, exposed for instrumentation (compile hooks
+  /// in tests) and operational eviction.
+  ProgramCache& program_cache() { return cache_; }
   std::size_t num_workers() const { return workers_.size(); }
+  std::size_t num_models() const;
 
-  const std::string& model_name(ModelId model) const;
+  // ----------------------------------------------------------------- v1 shim
+  // Deprecated PR 1 API: flat grow-only ModelId registry. Each shim call maps
+  // onto the handle API (ids index an internal handle table that unload()
+  // does NOT shrink, preserving id stability). See README for migration.
+  [[deprecated("use load() and ModelHandle")]] ModelId load_model(
+      const std::string& name, const Netlist& nl);
+  [[deprecated("use load_parallel() and ModelHandle")]] ModelId
+  load_model_parallel(const std::string& name, const Netlist& nl,
+                      std::uint32_t parallel_lpus);
+  [[deprecated("use submit(ModelHandle, ...)")]] std::future<std::vector<bool>>
+  submit(ModelId model, std::vector<bool> inputs);
+  [[deprecated("use ModelHandle::name()")]] const std::string& model_name(
+      ModelId model) const;
 
  private:
-  struct LoadedModel;
+  friend struct ModelState;  // embeds a deque of WorkItems
+
   struct BatchWork;
   struct WorkItem;
   struct Impl;
 
   void worker_loop();
   void timer_loop();
-  ModelId register_model(std::unique_ptr<LoadedModel> model,
-                         std::size_t lane_capacity);
-  void enqueue_batch(LoadedModel& model, Batch&& batch);
+  ModelHandle register_model(std::shared_ptr<ModelState> state,
+                             std::size_t lane_capacity,
+                             const ModelOptions& mopt);
+  ModelState* state_of(const ModelHandle& handle) const;
+  ModelHandle legacy_at(ModelId model) const;
+  std::future<std::vector<bool>> dispatch_admitted(ModelState* m,
+                                                   std::vector<bool>&& inputs);
+  void enqueue_batch(ModelState& model, Batch&& batch);
   void finalize(BatchWork& work);
   void release_requests(std::size_t n);
-  LoadedModel& model_at(ModelId model) const;
-  /// Stable Batcher pointers snapshot (models are append-only), so sealing
-  /// and flushing can happen outside models_mu.
-  std::vector<Batcher*> batchers() const;
+  /// Keep-alive snapshot of all loaded models (sealing, draining, reporting
+  /// happen outside models_mu; an unload cannot free state under us).
+  std::vector<std::shared_ptr<ModelState>> model_snapshot() const;
 
   EngineOptions options_;
   ProgramCache cache_;

@@ -57,9 +57,15 @@ std::uint64_t fingerprint(const Netlist& nl, const CompileOptions& opt) {
   return f.h;
 }
 
-ProgramCache::ProgramCache(std::size_t capacity) : capacity_(capacity) {
-  if (capacity_ == 0) capacity_ = 1;
+std::uint64_t ProgramCache::parallel_key(std::uint64_t single_fp, std::uint32_t k) {
+  Fnv f;
+  f.mix(single_fp);
+  f.mix(0x706172616C6C656Cull);  // "parallel" tag: distinct key space from k=0
+  f.mix(k);
+  return f.h;
 }
+
+ProgramCache::ProgramCache(std::size_t capacity) : capacity_(capacity) {}
 
 ProgramCache::Entry* ProgramCache::lookup_locked(std::uint64_t key) {
   auto it = map_.find(key);
@@ -69,6 +75,9 @@ ProgramCache::Entry* ProgramCache::lookup_locked(std::uint64_t key) {
 }
 
 void ProgramCache::insert_locked(std::uint64_t key, Entry entry) {
+  // A zero-capacity cache is a pass-through: the caller keeps the compiled
+  // artifact alive, we retain (and evict) nothing.
+  if (capacity_ == 0) return;
   while (map_.size() >= capacity_) {
     map_.erase(lru_.back());
     lru_.pop_back();
@@ -79,41 +88,90 @@ void ProgramCache::insert_locked(std::uint64_t key, Entry entry) {
   map_.emplace(key, std::move(entry));
 }
 
-std::shared_ptr<const CompileResult> ProgramCache::get_or_compile(
-    const Netlist& nl, const CompileOptions& opt) {
-  const std::uint64_t key = fingerprint(nl, opt);
+bool ProgramCache::erase(std::uint64_t key) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (Entry* e = lookup_locked(key); e != nullptr && e->single) {
-    ++stats_.hits;
-    return e->single;
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+  ++stats_.evictions;
+  return true;
+}
+
+template <typename R, typename SlotFn, typename CompileFn>
+std::shared_ptr<const R> ProgramCache::get_or_join(std::uint64_t key,
+                                                   InflightMap<R>& inflight,
+                                                   SlotFn slot,
+                                                   CompileFn do_compile) {
+  std::promise<std::shared_ptr<const R>> promise;
+  std::shared_future<std::shared_ptr<const R>> shared;
+  bool compile_here = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (Entry* e = lookup_locked(key); e != nullptr && slot(*e)) {
+      ++stats_.hits;
+      return slot(*e);
+    }
+    if (auto it = inflight.find(key); it != inflight.end()) {
+      // Someone is compiling this key right now; join their future (counted
+      // as a hit: this load runs no compile of its own).
+      ++stats_.hits;
+      shared = it->second;
+    } else {
+      ++stats_.misses;
+      shared = promise.get_future().share();
+      inflight.emplace(key, shared);
+      compile_here = true;
+    }
   }
-  ++stats_.misses;
-  Entry entry;
-  entry.single = std::make_shared<const CompileResult>(compile(nl, opt));
-  auto result = entry.single;
-  insert_locked(key, std::move(entry));
+  if (!compile_here) return shared.get();  // rethrows the owner's failure
+
+  std::shared_ptr<const R> result;
+  try {
+    if (compile_hook_) compile_hook_();
+    result = std::make_shared<const R>(do_compile());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      inflight.erase(key);  // a later load may retry
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    // Publish to the LRU before fulfilling the promise, so a caller woken by
+    // the future observes the cached entry on its next load.
+    std::lock_guard<std::mutex> lk(mu_);
+    Entry entry;
+    slot(entry) = result;
+    insert_locked(key, std::move(entry));
+    inflight.erase(key);
+  }
+  promise.set_value(result);
   return result;
 }
 
+std::shared_ptr<const CompileResult> ProgramCache::get_or_compile(
+    const Netlist& nl, const CompileOptions& opt, std::uint64_t* key_out) {
+  const std::uint64_t key = fingerprint(nl, opt);
+  if (key_out != nullptr) *key_out = key;
+  return get_or_join<CompileResult>(
+      key, inflight_single_,
+      [](Entry& e) -> std::shared_ptr<const CompileResult>& { return e.single; },
+      [&] { return compile(nl, opt); });
+}
+
 std::shared_ptr<const ParallelCompileResult> ProgramCache::get_or_compile_parallel(
-    const Netlist& nl, const CompileOptions& opt, std::uint32_t k) {
-  Fnv f;
-  f.mix(fingerprint(nl, opt));
-  f.mix(0x706172616C6C656Cull);  // "parallel" tag: distinct key space from k=0
-  f.mix(k);
-  const std::uint64_t key = f.h;
-  std::lock_guard<std::mutex> lk(mu_);
-  if (Entry* e = lookup_locked(key); e != nullptr && e->parallel) {
-    ++stats_.hits;
-    return e->parallel;
-  }
-  ++stats_.misses;
-  Entry entry;
-  entry.parallel =
-      std::make_shared<const ParallelCompileResult>(compile_parallel(nl, opt, k));
-  auto result = entry.parallel;
-  insert_locked(key, std::move(entry));
-  return result;
+    const Netlist& nl, const CompileOptions& opt, std::uint32_t k,
+    std::uint64_t* key_out) {
+  const std::uint64_t key = parallel_key(fingerprint(nl, opt), k);
+  if (key_out != nullptr) *key_out = key;
+  return get_or_join<ParallelCompileResult>(
+      key, inflight_parallel_,
+      [](Entry& e) -> std::shared_ptr<const ParallelCompileResult>& {
+        return e.parallel;
+      },
+      [&] { return compile_parallel(nl, opt, k); });
 }
 
 CacheStats ProgramCache::stats() const {

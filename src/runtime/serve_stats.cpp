@@ -30,6 +30,40 @@ std::uint64_t LatencyHistogram::percentile_us(double p) const {
   return ~0ull;
 }
 
+void ModelStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::uint64_t us : latencies_us) hist_.record(us);
+  requests_ += latencies_us.size();
+}
+
+void ModelStats::on_batch(std::size_t samples, std::size_t lane_capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++batches_;
+  samples_ += samples;
+  lanes_offered_ += lane_capacity;
+}
+
+void ModelStats::on_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (depth > queue_depth_hwm_) queue_depth_hwm_ = depth;
+}
+
+ModelReport ModelStats::report() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ModelReport r;
+  r.requests = requests_;
+  r.batches = batches_;
+  r.samples = samples_;
+  r.lanes_offered = lanes_offered_;
+  r.lane_occupancy = lanes_offered_ == 0
+                         ? 0.0
+                         : static_cast<double>(samples_) / static_cast<double>(lanes_offered_);
+  r.p50_latency_us = hist_.percentile_us(50.0);
+  r.p99_latency_us = hist_.percentile_us(99.0);
+  r.queue_depth_hwm = queue_depth_hwm_;
+  return r;
+}
+
 void ServeStats::on_request_done(std::uint64_t latency_us) {
   std::lock_guard<std::mutex> lk(mu_);
   hist_.record(latency_us);

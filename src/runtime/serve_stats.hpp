@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "lpu/simulator.hpp"
@@ -28,6 +29,24 @@ class LatencyHistogram {
   std::uint64_t count_ = 0;
 };
 
+/// Per-model slice of a ServeReport: one row per loaded model, so the
+/// weighted-fair scheduler's isolation properties are observable (a starved
+/// model shows up as a high p99 and a deep queue high-water mark).
+struct ModelReport {
+  std::string name;
+  std::uint32_t weight = 1;       ///< QoS weight (stride scheduling share)
+  std::size_t queue_bound = 0;    ///< admission bound (outstanding requests)
+  std::uint64_t requests = 0;     ///< completed single-sample requests
+  std::uint64_t batches = 0;      ///< sealed batches executed
+  std::uint64_t samples = 0;      ///< lanes actually occupied across batches
+  std::uint64_t lanes_offered = 0;
+  double lane_occupancy = 0.0;
+  std::uint64_t p50_latency_us = 0;
+  std::uint64_t p99_latency_us = 0;
+  /// Deepest the model's ready queue (dispatchable work items) ever got.
+  std::size_t queue_depth_hwm = 0;
+};
+
 /// Snapshot of a ServeStats aggregation (all values since construction or the
 /// last reset()).
 struct ServeReport {
@@ -44,6 +63,32 @@ struct ServeReport {
   /// Simulator counters summed over every member run. lpe_utilization is the
   /// wavefront-weighted mean of the per-run utilizations.
   SimCounters sim;
+  /// One row per currently loaded model (load order). Unloaded models take
+  /// their rows with them; the global aggregates above still include them.
+  std::vector<ModelReport> per_model;
+};
+
+/// Thread-safe per-model serving metrics, embedded in each loaded model's
+/// state. The Engine feeds it alongside the global ServeStats; report() fills
+/// everything except the identity fields (name/weight/bound), which the
+/// Engine owns.
+class ModelStats {
+ public:
+  void on_requests_done(const std::vector<std::uint64_t>& latencies_us);
+  void on_batch(std::size_t samples, std::size_t lane_capacity);
+  /// Ready-queue depth observed after an enqueue; keeps the high-water mark.
+  void on_queue_depth(std::size_t depth);
+
+  ModelReport report() const;
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram hist_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t lanes_offered_ = 0;
+  std::size_t queue_depth_hwm_ = 0;
 };
 
 /// Thread-safe serving metrics: request latencies (for p50/p99), batch lane

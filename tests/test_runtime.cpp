@@ -47,11 +47,15 @@ TEST(Engine, BitExactVsDirectSimulator) {
   eopt.num_workers = 2;
   eopt.compile = opt;
   Engine engine(eopt);
-  const ModelId id = engine.load_model("grid", nl);
+  const ModelHandle grid = engine.load("grid", nl);
+  EXPECT_TRUE(grid.loaded());
+  EXPECT_EQ(grid.name(), "grid");
+  EXPECT_EQ(grid.num_inputs(), nl.num_inputs());
+  EXPECT_EQ(grid.num_outputs(), nl.num_outputs());
 
   std::vector<std::future<std::vector<bool>>> futs;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    futs.push_back(engine.submit(id, sample_of(inputs, lane)));
+    futs.push_back(engine.submit(grid, sample_of(inputs, lane)));
   }
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     const auto out = futs[lane].get();
@@ -74,14 +78,14 @@ TEST(Engine, ParallelAssemblyBitExact) {
   eopt.num_workers = 3;
   eopt.compile = small_lpu();
   Engine engine(eopt);
-  const ModelId id = engine.load_model_parallel("dag", nl, 3);
+  const ModelHandle dag = engine.load_parallel("dag", nl, 3);
 
   Rng rng(22);
   for (int round = 0; round < 4; ++round) {
     const auto inputs = random_inputs(nl, 16, rng);
     std::vector<std::future<std::vector<bool>>> futs;
     for (std::size_t lane = 0; lane < 16; ++lane) {
-      futs.push_back(engine.submit(id, sample_of(inputs, lane)));
+      futs.push_back(engine.submit(dag, sample_of(inputs, lane)));
     }
     const auto expect = simulate(nl, inputs);
     for (std::size_t lane = 0; lane < 16; ++lane) {
@@ -101,7 +105,7 @@ TEST(Engine, ConcurrentSubmitStress) {
   eopt.batch_timeout = std::chrono::microseconds(100);
   eopt.compile = small_lpu();
   Engine engine(eopt);
-  const ModelId id = engine.load_model("grid", nl);
+  const ModelHandle grid = engine.load("grid", nl);
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 64;
@@ -114,7 +118,7 @@ TEST(Engine, ConcurrentSubmitStress) {
         std::vector<bool> bits(nl.num_inputs());
         for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
         const auto expect = simulate_scalar(nl, bits);
-        const auto got = engine.submit(id, bits).get();
+        const auto got = engine.submit(grid, bits).get();
         if (got != expect) mismatches.fetch_add(1);
       }
     });
@@ -125,6 +129,11 @@ TEST(Engine, ConcurrentSubmitStress) {
   EXPECT_EQ(rep.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
   EXPECT_GE(rep.batches, 1u);
   EXPECT_LE(rep.p50_latency_us, rep.p99_latency_us);
+  // The per-model breakdown carries the whole load (only one model).
+  ASSERT_EQ(rep.per_model.size(), 1u);
+  EXPECT_EQ(rep.per_model[0].name, "grid");
+  EXPECT_EQ(rep.per_model[0].requests, rep.requests);
+  EXPECT_GE(rep.per_model[0].queue_depth_hwm, 1u);
 }
 
 TEST(Engine, DrainAnswersEverything) {
@@ -136,11 +145,11 @@ TEST(Engine, DrainAnswersEverything) {
   eopt.batch_timeout = std::chrono::milliseconds(50);
   eopt.compile = small_lpu();
   Engine engine(eopt);
-  const ModelId id = engine.load_model("grid", nl);
+  const ModelHandle grid = engine.load("grid", nl);
 
   std::vector<std::future<std::vector<bool>>> futs;
   for (int i = 0; i < 5; ++i) {
-    futs.push_back(engine.submit(id, std::vector<bool>(nl.num_inputs(), i % 2 != 0)));
+    futs.push_back(engine.submit(grid, std::vector<bool>(nl.num_inputs(), i % 2 != 0)));
   }
   engine.drain();
   for (auto& f : futs) {
@@ -155,13 +164,50 @@ TEST(Engine, SubmitErrors) {
   eopt.num_workers = 1;
   eopt.compile = small_lpu();
   Engine engine(eopt);
-  const ModelId id = engine.load_model("grid", nl);
+  const ModelHandle grid = engine.load("grid", nl);
 
-  EXPECT_THROW(engine.submit(id + 1, std::vector<bool>(nl.num_inputs())), Error);
-  EXPECT_THROW(engine.submit(id, std::vector<bool>(nl.num_inputs() + 3)), Error);
+  EXPECT_THROW(engine.submit(ModelHandle(), std::vector<bool>(nl.num_inputs())),
+               Error);
+  EXPECT_THROW(ModelHandle().name(), Error);  // empty-handle accessors throw
+  EXPECT_FALSE(ModelHandle().loaded());
+  EXPECT_THROW(engine.submit(grid, std::vector<bool>(nl.num_inputs() + 3)), Error);
   engine.shutdown();
-  EXPECT_THROW(engine.submit(id, std::vector<bool>(nl.num_inputs())), Error);
+  EXPECT_THROW(engine.submit(grid, std::vector<bool>(nl.num_inputs())), Error);
 }
+
+TEST(Engine, HandlesAreEngineSpecific) {
+  Rng gen(52);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.compile = small_lpu();
+  Engine a(eopt);
+  Engine b(eopt);
+  const ModelHandle on_a = a.load("grid", nl);
+  EXPECT_THROW(b.submit(on_a, std::vector<bool>(nl.num_inputs())), Error);
+  std::future<std::vector<bool>> fut;
+  EXPECT_THROW(b.try_submit(on_a, std::vector<bool>(nl.num_inputs()), &fut), Error);
+}
+
+// PR 1 compatibility: the deprecated flat-ModelId entry points still serve.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Engine, LegacyModelIdShim) {
+  Rng gen(53);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.compile = small_lpu();
+  Engine engine(eopt);
+  const ModelId id = engine.load_model("grid", nl);
+  EXPECT_EQ(engine.model_name(id), "grid");
+  std::vector<bool> bits(nl.num_inputs(), true);
+  const auto expect = simulate_scalar(nl, bits);
+  EXPECT_EQ(engine.submit(id, bits).get(), expect);
+  EXPECT_THROW(engine.submit(id + 1, bits), Error);
+  EXPECT_THROW(engine.model_name(id + 1), Error);
+}
+#pragma GCC diagnostic pop
 
 TEST(Batcher, SealsWhenLanesFill) {
   std::vector<std::size_t> batch_sizes;
@@ -171,9 +217,11 @@ TEST(Batcher, SealsWhenLanesFill) {
   for (int i = 0; i < 9; ++i) futs.push_back(batcher.submit({true, false}));
   // 9 submits at capacity 4: two full batches sealed inline, one open.
   EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4}));
+  EXPECT_EQ(batcher.open_count(), 1u);
   EXPECT_TRUE(batcher.deadline().has_value());
   batcher.flush();
   EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 1}));
+  EXPECT_EQ(batcher.open_count(), 0u);
   EXPECT_FALSE(batcher.deadline().has_value());
 }
 
@@ -249,6 +297,44 @@ TEST(ProgramCache, HitsMissesEvictions) {
   sanity.run(random_inputs(a, 8, gen));
 }
 
+TEST(ProgramCache, CapacityZeroIsPassThrough) {
+  Rng gen(72);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  const CompileOptions opt = small_lpu();
+
+  ProgramCache cache(0);
+  const auto first = cache.get_or_compile(nl, opt);
+  const auto second = cache.get_or_compile(nl, opt);
+  // Nothing is retained: both loads compile, neither evicts.
+  EXPECT_NE(first.get(), second.get());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 0u);
+  // Both artifacts are fully usable (the caller owns them).
+  LpuSimulator sim(first->program);
+  sim.run(random_inputs(nl, 4, gen));
+  EXPECT_EQ(first->program.num_wavefronts, second->program.num_wavefronts);
+}
+
+TEST(ProgramCache, ExplicitEraseCountsAsEviction) {
+  Rng gen(73);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  const CompileOptions opt = small_lpu();
+  ProgramCache cache(4);
+  const auto kept = cache.get_or_compile(nl, opt);
+  const std::uint64_t key = fingerprint(nl, opt);
+  EXPECT_TRUE(cache.erase(key));
+  EXPECT_FALSE(cache.erase(key));  // already gone
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  // The erased artifact stays valid for holders.
+  LpuSimulator sim(kept->program);
+  sim.run(random_inputs(nl, 4, gen));
+}
+
 TEST(ProgramCache, DistinguishesOptionsAndParallelK) {
   Rng gen(81);
   RandomCircuitSpec spec;
@@ -316,6 +402,23 @@ TEST(ServeStats, AggregatesBatchesAndSims) {
   EXPECT_EQ(rep.sim.lpe_computes, 80u);
   EXPECT_DOUBLE_EQ(rep.sim.lpe_utilization, 0.5);
   EXPECT_EQ(rep.requests, 1u);
+}
+
+TEST(ModelStats, PerModelBreakdown) {
+  ModelStats stats;
+  stats.on_requests_done({100, 200, 400});
+  stats.on_batch(3, 16);
+  stats.on_queue_depth(2);
+  stats.on_queue_depth(7);
+  stats.on_queue_depth(4);  // hwm keeps the peak, not the last sample
+  const ModelReport rep = stats.report();
+  EXPECT_EQ(rep.requests, 3u);
+  EXPECT_EQ(rep.batches, 1u);
+  EXPECT_EQ(rep.samples, 3u);
+  EXPECT_EQ(rep.lanes_offered, 16u);
+  EXPECT_DOUBLE_EQ(rep.lane_occupancy, 3.0 / 16.0);
+  EXPECT_LE(rep.p50_latency_us, rep.p99_latency_us);
+  EXPECT_EQ(rep.queue_depth_hwm, 7u);
 }
 
 }  // namespace

@@ -1,0 +1,456 @@
+// Serving API v2 coverage: model lifecycle (unload, idle eviction, stale
+// handles), bounded per-model admission (try_submit / blocking backpressure),
+// parallel compile admission (distinct keys overlap, same keys dedup), and
+// shutdown/unload races against concurrent submitters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/random_circuits.hpp"
+#include "netlist/simulate.hpp"
+#include "runtime/engine.hpp"
+
+namespace lbnn::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+CompileOptions small_lpu() {
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  return opt;  // word width 2m = 16 lanes
+}
+
+EngineOptions small_engine(std::uint32_t workers) {
+  EngineOptions eopt;
+  eopt.num_workers = workers;
+  eopt.compile = small_lpu();
+  return eopt;
+}
+
+TEST(ServingV2, TrySubmitQueueFullWithoutBlocking) {
+  Rng gen(101);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(1);
+  // Nothing seals on its own: queue-full must come from the bound, not timing.
+  eopt.batch_timeout = std::chrono::hours(1);
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 4;
+  const ModelHandle grid = engine.load("grid", nl, mopt);
+  EXPECT_EQ(grid.queue_bound(), 4u);
+
+  std::vector<std::future<std::vector<bool>>> futs(5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &futs[i]),
+              SubmitStatus::kAccepted);
+  }
+  // The bound is reached; the 5th attempt reports queue-full immediately
+  // (well under the 1-hour batch timeout) and leaves the future untouched.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &futs[4]),
+            SubmitStatus::kQueueFull);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 10s);
+  EXPECT_FALSE(futs[4].valid());
+
+  engine.drain();  // seals the partial batch; the four accepted futures resolve
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(futs[i].wait_for(0s), std::future_status::ready);
+  }
+  // Capacity freed: admission works again.
+  EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &futs[4]),
+            SubmitStatus::kAccepted);
+  engine.drain();
+  engine.shutdown();
+  std::future<std::vector<bool>> post;
+  EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &post),
+            SubmitStatus::kShuttingDown);
+  EXPECT_EQ(to_string(SubmitStatus::kQueueFull), std::string("queue-full"));
+}
+
+TEST(ServingV2, BlockingSubmitUnblocksWhenCapacityFrees) {
+  Rng gen(102);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::hours(1);
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 4;
+  const ModelHandle grid = engine.load("grid", nl, mopt);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(engine.submit(grid, std::vector<bool>(nl.num_inputs())));
+  }
+  // The 5th blocking submit parks on the bound until drain() frees capacity.
+  std::atomic<bool> fifth_admitted{false};
+  std::thread blocked([&] {
+    auto fut = engine.submit(grid, std::vector<bool>(nl.num_inputs(), true));
+    fifth_admitted.store(true);
+    fut.get();
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(fifth_admitted.load());  // still exerting backpressure
+  engine.drain();  // runs the open batch, frees slots, admits #5, drains it too
+  blocked.join();
+  EXPECT_TRUE(fifth_admitted.load());
+  for (auto& f : futs) EXPECT_EQ(f.wait_for(0s), std::future_status::ready);
+}
+
+TEST(ServingV2, UnloadReleasesProgramsAndRejectsStaleHandle) {
+  Rng gen(103);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  Engine engine(small_engine(1));
+  const ModelHandle grid = engine.load("grid", nl);
+  EXPECT_EQ(engine.num_models(), 1u);
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+
+  const auto expect = simulate_scalar(nl, std::vector<bool>(nl.num_inputs(), true));
+  EXPECT_EQ(engine.submit(grid, std::vector<bool>(nl.num_inputs(), true)).get(),
+            expect);
+
+  EXPECT_TRUE(engine.unload(grid));
+  EXPECT_FALSE(engine.unload(grid));  // second unload is a no-op
+  EXPECT_FALSE(grid.loaded());
+  EXPECT_EQ(engine.num_models(), 0u);  // the registry finally shrinks
+  // The cache pin is released: observable as an eviction, registry empty.
+  const CacheStats after = engine.cache_stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.evictions, 1u);
+
+  // Stale-handle submits fail cleanly, with status, not UB.
+  EXPECT_THROW(engine.submit(grid, std::vector<bool>(nl.num_inputs())), Error);
+  std::future<std::vector<bool>> fut;
+  EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &fut),
+            SubmitStatus::kUnloaded);
+
+  // The handle still pins the compiled program: metadata stays readable.
+  EXPECT_EQ(grid.name(), "grid");
+  EXPECT_EQ(grid.num_inputs(), nl.num_inputs());
+
+  // Reloading compiles again (the cached artifact is gone).
+  const std::uint64_t misses_before = engine.cache_stats().misses;
+  const ModelHandle again = engine.load("grid-2", nl);
+  EXPECT_EQ(engine.cache_stats().misses, misses_before + 1);
+  EXPECT_EQ(engine.submit(again, std::vector<bool>(nl.num_inputs(), true)).get(),
+            expect);
+}
+
+TEST(ServingV2, UnloadDrainsOutstandingRequests) {
+  Rng gen(104);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::hours(1);  // unload must not wait for this
+  Engine engine(eopt);
+  const ModelHandle grid = engine.load("grid", nl);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 3; ++i) {
+    futs.push_back(engine.submit(grid, std::vector<bool>(nl.num_inputs(), i != 0)));
+  }
+  EXPECT_TRUE(engine.unload(grid));
+  // Every accepted future resolved (with a value, not an exception) before
+  // unload returned.
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+}
+
+TEST(ServingV2, ReplicaUnloadKeepsSharedCacheEntry) {
+  Rng gen(105);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  Engine engine(small_engine(1));
+  const ModelHandle a = engine.load("a", nl);
+  const ModelHandle b = engine.load("b", nl);  // same key: cache hit
+  CacheStats s = engine.cache_stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.hits, 1u);
+
+  // Unloading one replica must not evict the entry the other still uses.
+  EXPECT_TRUE(engine.unload(a));
+  s = engine.cache_stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  EXPECT_TRUE(engine.unload(b));
+  s = engine.cache_stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(ServingV2, EvictIdleUnloadsOnlyStaleModels) {
+  Rng gen(106);
+  const Netlist a = reconvergent_grid(8, 4, gen);
+  const Netlist b = reconvergent_grid(8, 5, gen);
+  Engine engine(small_engine(1));
+  const ModelHandle ha = engine.load("a", a);
+  const ModelHandle hb = engine.load("b", b);
+  engine.submit(ha, std::vector<bool>(a.num_inputs())).get();
+
+  EXPECT_EQ(engine.evict_idle(10min), 0u);  // nothing is that old
+  EXPECT_EQ(engine.num_models(), 2u);
+  EXPECT_EQ(engine.evict_idle(0s), 2u);  // everything is idle "now"
+  EXPECT_EQ(engine.num_models(), 0u);
+  EXPECT_FALSE(ha.loaded());
+  EXPECT_FALSE(hb.loaded());
+}
+
+TEST(ServingV2, ConcurrentDistinctLoadsOverlapCompiles) {
+  Rng gen(107);
+  const Netlist a = reconvergent_grid(16, 8, gen);
+  const Netlist b = reconvergent_grid(16, 9, gen);
+  Engine engine(small_engine(1));
+
+  // The hook runs once per actual compile, outside the cache lock. Each
+  // compile waits (bounded) for the other to arrive: only possible when the
+  // two compiles are in flight simultaneously. Under the PR 1 design
+  // (compile under the cache lock) max_active would stay 1.
+  std::atomic<int> arrived{0};
+  std::atomic<int> active{0};
+  std::atomic<int> max_active{0};
+  engine.program_cache().set_compile_hook([&] {
+    const int now = active.fetch_add(1) + 1;
+    int seen = max_active.load();
+    while (now > seen && !max_active.compare_exchange_weak(seen, now)) {
+    }
+    arrived.fetch_add(1);
+    // Wait (bounded) on the monotonic arrivals counter — not on `active`,
+    // which the other hook may already have left — so both compiles overlap
+    // whenever overlap is possible, and neither spins out the full window.
+    for (int i = 0; i < 2000 && arrived.load() < 2; ++i) {
+      std::this_thread::sleep_for(1ms);
+    }
+    active.fetch_sub(1);
+  });
+
+  auto fa = engine.load_async("a", a);
+  auto fb = engine.load_async("b", b);
+  const ModelHandle ha = fa.get();
+  const ModelHandle hb = fb.get();
+  EXPECT_EQ(max_active.load(), 2);
+  EXPECT_TRUE(ha.loaded());
+  EXPECT_TRUE(hb.loaded());
+  engine.program_cache().set_compile_hook(nullptr);
+
+  // Both models serve correctly after the overlapped compile.
+  const auto bits = std::vector<bool>(a.num_inputs(), true);
+  EXPECT_EQ(engine.submit(ha, bits).get(), simulate_scalar(a, bits));
+  EXPECT_EQ(engine.submit(hb, bits).get(), simulate_scalar(b, bits));
+}
+
+TEST(ServingV2, SameKeyConcurrentLoadsCompileExactlyOnce) {
+  Rng gen(108);
+  const Netlist nl = reconvergent_grid(16, 8, gen);
+  Engine engine(small_engine(1));
+
+  std::atomic<int> compiles{0};
+  engine.program_cache().set_compile_hook([&] {
+    compiles.fetch_add(1);
+    std::this_thread::sleep_for(10ms);  // widen the join window
+  });
+
+  constexpr int kLoaders = 4;
+  std::vector<std::future<ModelHandle>> futs;
+  for (int i = 0; i < kLoaders; ++i) {
+    futs.push_back(engine.load_async("replica-" + std::to_string(i), nl));
+  }
+  std::vector<ModelHandle> handles;
+  for (auto& f : futs) handles.push_back(f.get());
+  engine.program_cache().set_compile_hook(nullptr);
+
+  EXPECT_EQ(compiles.load(), 1);  // same-key loads deduplicated
+  const CacheStats s = engine.cache_stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kLoaders - 1));
+  EXPECT_EQ(engine.num_models(), static_cast<std::size_t>(kLoaders));
+  for (const auto& h : handles) EXPECT_TRUE(h.loaded());
+}
+
+TEST(ServingV2, WeightedModelsServeCorrectlyUnderLoad) {
+  Rng gen(109);
+  const Netlist heavy_nl = reconvergent_grid(12, 6, gen);
+  const Netlist light_nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::microseconds(100);
+  Engine engine(eopt);
+  ModelOptions heavy_opt;
+  heavy_opt.weight = 1;
+  ModelOptions light_opt;
+  light_opt.weight = 8;
+  const ModelHandle heavy = engine.load("heavy", heavy_nl, heavy_opt);
+  const ModelHandle light = engine.load("light", light_nl, light_opt);
+  EXPECT_EQ(heavy.weight(), 1u);
+  EXPECT_EQ(light.weight(), 8u);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  Rng rng(110);
+  for (int i = 0; i < 96; ++i) {
+    std::vector<bool> hb(heavy_nl.num_inputs());
+    for (std::size_t pi = 0; pi < hb.size(); ++pi) hb[pi] = rng.next_bool();
+    futs.push_back(engine.submit(heavy, hb));
+    if (i % 3 == 0) {
+      futs.push_back(engine.submit(light, std::vector<bool>(light_nl.num_inputs())));
+    }
+  }
+  engine.drain();
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+
+  const ServeReport rep = engine.report();
+  ASSERT_EQ(rep.per_model.size(), 2u);
+  EXPECT_EQ(rep.per_model[0].name, "heavy");
+  EXPECT_EQ(rep.per_model[1].name, "light");
+  EXPECT_EQ(rep.per_model[0].weight, 1u);
+  EXPECT_EQ(rep.per_model[1].weight, 8u);
+  EXPECT_EQ(rep.per_model[0].requests + rep.per_model[1].requests, rep.requests);
+}
+
+TEST(ServingV2, WrongArityThrowsEvenWhenQueueIsFull) {
+  Rng gen(113);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(1);
+  eopt.batch_timeout = std::chrono::hours(1);
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 1;
+  const ModelHandle grid = engine.load("grid", nl, mopt);
+  auto fut = engine.submit(grid, std::vector<bool>(nl.num_inputs()));
+  // The queue is full; a wrong-arity request is a usage bug and must throw
+  // immediately instead of parking on backpressure until a slot frees.
+  EXPECT_THROW(engine.submit(grid, std::vector<bool>(nl.num_inputs() + 1)),
+               Error);
+  engine.drain();
+  EXPECT_NO_THROW(fut.get());
+}
+
+TEST(ServingV2, LoadUnloadChurn) {
+  // Lifecycle churn: every round loads a fresh model (new Program), serves
+  // it, and unloads it — exercising the workers' simulator-cache pruning
+  // (stale entries are both a leak and a dangling-key hazard; ASan covers
+  // this path in CI).
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::microseconds(50);
+  eopt.cache_capacity = 2;
+  Engine engine(eopt);
+  Rng gen(114);
+  for (int round = 0; round < 8; ++round) {
+    const Netlist nl = reconvergent_grid(8, 4 + (round % 3), gen);
+    const ModelHandle h =
+        engine.load("churn-" + std::to_string(round), nl);
+    std::vector<std::future<std::vector<bool>>> futs;
+    for (int i = 0; i < 20; ++i) {
+      futs.push_back(engine.submit(h, std::vector<bool>(nl.num_inputs(), i % 2 != 0)));
+    }
+    EXPECT_TRUE(engine.unload(h));  // drains, then retires the programs
+    for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(engine.num_models(), 0u);
+}
+
+TEST(ServingV2, ExtremeWeightDoesNotFreezeScheduler) {
+  // A weight beyond the stride scale must not truncate the stride to 0 —
+  // that would freeze the model's pass at the minimum and starve every other
+  // model for as long as it stays backlogged.
+  Rng gen(112);
+  const Netlist nl_a = reconvergent_grid(8, 4, gen);
+  const Netlist nl_b = reconvergent_grid(8, 5, gen);
+  EngineOptions eopt = small_engine(1);
+  eopt.batch_timeout = std::chrono::microseconds(50);
+  Engine engine(eopt);
+  ModelOptions extreme_opt;
+  extreme_opt.weight = 1u << 24;  // > kStrideScale
+  const ModelHandle extreme = engine.load("extreme", nl_a, extreme_opt);
+  const ModelHandle other = engine.load("other", nl_b);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(engine.submit(extreme, std::vector<bool>(nl_a.num_inputs())));
+    futs.push_back(engine.submit(other, std::vector<bool>(nl_b.num_inputs())));
+  }
+  engine.drain();  // both models complete; neither starves the other
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+}
+
+// Concurrent submit()/try_submit() against drain()/unload()/shutdown() must
+// never deadlock or drop a promise: every accepted future resolves, every
+// rejection is a clean status/exception.
+TEST(ServingV2, ShutdownUnloadSubmitRaces) {
+  Rng gen(111);
+  const Netlist nl_a = reconvergent_grid(8, 4, gen);
+  const Netlist nl_b = reconvergent_grid(8, 5, gen);
+
+  for (int round = 0; round < 3; ++round) {
+    EngineOptions eopt = small_engine(2);
+    eopt.batch_timeout = std::chrono::microseconds(50);
+    Engine engine(eopt);
+    ModelOptions mopt;
+    mopt.queue_bound = 8;  // small bound: exercise the backpressure paths too
+    const ModelHandle a = engine.load("a", nl_a, mopt);
+    const ModelHandle b = engine.load("b", nl_b, mopt);
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> resolved{0};
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        const ModelHandle& target = (t % 2 == 0) ? a : b;
+        const std::size_t arity =
+            (t % 2 == 0) ? nl_a.num_inputs() : nl_b.num_inputs();
+        std::vector<std::future<std::vector<bool>>> futs;
+        for (int i = 0; i < kPerThread; ++i) {
+          std::vector<bool> bits(arity, (i & 1) != 0);
+          if (i % 2 == 0) {
+            try {
+              futs.push_back(engine.submit(target, std::move(bits)));
+              accepted.fetch_add(1);
+            } catch (const Error&) {
+              rejected.fetch_add(1);  // shut down / unloaded: clean rejection
+            }
+          } else {
+            std::future<std::vector<bool>> fut;
+            const SubmitStatus st = engine.try_submit(target, std::move(bits), &fut);
+            if (st == SubmitStatus::kAccepted) {
+              futs.push_back(std::move(fut));
+              accepted.fetch_add(1);
+            } else {
+              rejected.fetch_add(1);
+            }
+          }
+        }
+        // Every accepted future must resolve — to a value (normal) or an
+        // exception (failed batch) — never hang, never stay unresolved.
+        for (auto& f : futs) {
+          try {
+            f.get();
+          } catch (const Error&) {
+          }
+          resolved.fetch_add(1);
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+    engine.drain();
+    engine.unload(b);
+    std::this_thread::sleep_for(1ms);
+    engine.shutdown();
+    for (auto& c : clients) c.join();
+
+    EXPECT_EQ(resolved.load(), accepted.load());
+    EXPECT_EQ(accepted.load() + rejected.load(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace lbnn::runtime
