@@ -119,6 +119,17 @@ int main() {
     }
   }
 
+  // SLO-aware admission: a deadline the queue can no longer meet is refused
+  // up front (kDeadlineUnmeetable) instead of wasting a lane, and a request
+  // that expires while queued fails fast with DeadlineExceeded. Here the
+  // deadline is already in the past, so the shed is deterministic.
+  std::future<std::vector<bool>> doomed;
+  const SubmitStatus doomed_st = engine.try_submit(
+      adder, encode(1, 2), &doomed,
+      engine.clock().now() - std::chrono::microseconds(1));
+  std::cout << "submit with an already-missed deadline -> "
+            << to_string(doomed_st) << "\n";
+
   engine.drain();
   const ServeReport rep = engine.report();
   std::cout << "\nserved " << rep.requests << " requests in " << rep.batches
@@ -126,22 +137,30 @@ int main() {
             << static_cast<int>(rep.lane_occupancy * 100) << "%\n";
   std::cout << "latency p50 <= " << rep.p50_latency_us << " us, p99 <= "
             << rep.p99_latency_us << " us\n";
+  std::cout << "goodput " << static_cast<long long>(rep.goodput_per_sec)
+            << " on-deadline req/s (" << rep.deadline_met << " met, "
+            << rep.shed << " shed at admission, " << rep.expired
+            << " expired in queue)\n";
   std::cout << "simulated " << rep.sim.clock_cycles << " LPU clock cycles, "
             << rep.sim.lpe_computes << " LPE computes\n";
 
-  // Per-model breakdown: the weighted scheduler's fairness is observable.
+  // Per-model breakdown: the weighted scheduler's fairness and each model's
+  // SLO outcomes are observable.
   std::cout << "\n" << std::left << std::setw(16) << "model" << std::right
             << std::setw(7) << "weight" << std::setw(7) << "bound"
             << std::setw(9) << "reqs" << std::setw(9) << "p50us"
             << std::setw(9) << "p99us" << std::setw(7) << "occ%"
-            << std::setw(7) << "q-hwm" << "\n";
+            << std::setw(7) << "q-hwm" << std::setw(6) << "shed"
+            << std::setw(6) << "expd" << std::setw(10) << "goodput/s" << "\n";
   for (const ModelReport& m : rep.per_model) {
     std::cout << std::left << std::setw(16) << m.name << std::right
               << std::setw(7) << m.weight << std::setw(7) << m.queue_bound
               << std::setw(9) << m.requests << std::setw(9) << m.p50_latency_us
               << std::setw(9) << m.p99_latency_us << std::setw(7)
               << static_cast<int>(m.lane_occupancy * 100) << std::setw(7)
-              << m.queue_depth_hwm << "\n";
+              << m.queue_depth_hwm << std::setw(6) << m.shed << std::setw(6)
+              << m.expired << std::setw(10)
+              << static_cast<long long>(m.goodput_per_sec) << "\n";
   }
 
   // Lifecycle: unload drains, releases the cache pin, shrinks the registry.

@@ -39,4 +39,13 @@ class SimError : public Error {
   explicit SimError(const std::string& what) : Error(what) {}
 };
 
+/// A serving request missed its deadline: either rejected on the blocking
+/// submit path because the queue's estimated drain time already exceeded it
+/// (the non-blocking path reports SubmitStatus::kDeadlineUnmeetable instead),
+/// or dropped by a worker that found it expired at dequeue.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
 }  // namespace lbnn

@@ -31,9 +31,11 @@ std::vector<std::vector<bool>> unpack_outputs(const std::vector<BitVec>& outputs
   return per_request;
 }
 
-Batcher::Batcher(std::size_t num_inputs, std::size_t lane_capacity,
-                 std::chrono::microseconds max_wait, SealFn on_seal)
-    : num_inputs_(num_inputs),
+Batcher::Batcher(ClockSource& clock, std::size_t num_inputs,
+                 std::size_t lane_capacity, std::chrono::microseconds max_wait,
+                 SealFn on_seal)
+    : clock_(clock),
+      num_inputs_(num_inputs),
       lane_capacity_(lane_capacity),
       max_wait_(max_wait),
       on_seal_(std::move(on_seal)) {
@@ -42,6 +44,7 @@ Batcher::Batcher(std::size_t num_inputs, std::size_t lane_capacity,
 }
 
 std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
+                                               TimePoint deadline,
                                                bool* opened_batch) {
   if (input_bits.size() != num_inputs_) {
     throw Error("request has " + std::to_string(input_bits.size()) +
@@ -49,7 +52,8 @@ std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
   }
   Request req;
   req.inputs = std::move(input_bits);
-  req.enqueued = Clock::now();
+  req.enqueued = clock_.now();
+  req.deadline = deadline;
   std::future<std::vector<bool>> fut = req.result.get_future();
 
   Batch sealed;
@@ -78,13 +82,13 @@ std::size_t Batcher::open_count() const {
   return open_.size();
 }
 
-std::optional<Clock::time_point> Batcher::deadline() const {
+std::optional<TimePoint> Batcher::deadline() const {
   std::lock_guard<std::mutex> lk(mu_);
   if (open_.empty()) return std::nullopt;
   return open_deadline_;
 }
 
-void Batcher::seal_if_expired(Clock::time_point now) {
+void Batcher::seal_if_expired(TimePoint now) {
   Batch sealed;
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -9,17 +9,22 @@
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "runtime/clock.hpp"
 
 namespace lbnn::runtime {
-
-using Clock = std::chrono::steady_clock;
 
 /// One single-sample inference request: one Boolean per primary input going
 /// in, one per primary output coming back through the promise.
 struct Request {
   std::vector<bool> inputs;
   std::promise<std::vector<bool>> result;
-  Clock::time_point enqueued;
+  TimePoint enqueued;
+  /// Absolute completion deadline; kNoDeadline when the client set none.
+  TimePoint deadline = kNoDeadline;
+  /// Set by the worker that finds the request already past its deadline at
+  /// dequeue: the promise has been failed with DeadlineExceeded, finalize
+  /// must not touch it again.
+  bool expired = false;
 };
 
 /// A sealed batch, ready to run: 1 <= requests.size() <= lane capacity.
@@ -46,26 +51,30 @@ std::vector<std::vector<bool>> unpack_outputs(const std::vector<BitVec>& outputs
 ///   * the oldest request in it has waited `max_wait` (the engine's
 ///     timekeeper calls seal_if_expired()).
 /// The lane-full path seals inside submit(), so a saturating client never
-/// waits on the timer. Batcher owns no thread; the engine drives time.
+/// waits on the timer. Batcher owns no thread and never sleeps; all request
+/// stamps come from the injected ClockSource, so tests drive sealing with a
+/// ManualClock instead of real waits.
 class Batcher {
  public:
   using SealFn = std::function<void(Batch&&)>;
 
-  Batcher(std::size_t num_inputs, std::size_t lane_capacity,
+  Batcher(ClockSource& clock, std::size_t num_inputs, std::size_t lane_capacity,
           std::chrono::microseconds max_wait, SealFn on_seal);
 
-  /// Throws lbnn::Error when input_bits.size() != num_inputs. When
-  /// `opened_batch` is non-null it is set to whether this request started a
-  /// new open batch (i.e. a new deadline now exists) — the engine only needs
-  /// to re-arm its timekeeper in that case.
+  /// Throws lbnn::Error when input_bits.size() != num_inputs. `deadline` is
+  /// stamped onto the request for the engine's expiry handling (kNoDeadline =
+  /// none). When `opened_batch` is non-null it is set to whether this request
+  /// started a new open batch (i.e. a new seal deadline now exists) — the
+  /// engine only needs to re-arm its timekeeper in that case.
   std::future<std::vector<bool>> submit(std::vector<bool> input_bits,
+                                        TimePoint deadline = kNoDeadline,
                                         bool* opened_batch = nullptr);
 
-  /// Deadline of the currently open batch, if one is open.
-  std::optional<Clock::time_point> deadline() const;
+  /// Seal deadline of the currently open batch, if one is open.
+  std::optional<TimePoint> deadline() const;
 
   /// Seal the open batch if its deadline has passed at `now`.
-  void seal_if_expired(Clock::time_point now);
+  void seal_if_expired(TimePoint now);
 
   /// Seal whatever is open regardless of deadline (shutdown / drain).
   void flush();
@@ -78,6 +87,7 @@ class Batcher {
   std::size_t num_inputs() const { return num_inputs_; }
 
  private:
+  ClockSource& clock_;
   const std::size_t num_inputs_;
   const std::size_t lane_capacity_;
   const std::chrono::microseconds max_wait_;
@@ -85,7 +95,7 @@ class Batcher {
 
   mutable std::mutex mu_;
   std::vector<Request> open_;
-  Clock::time_point open_deadline_{};
+  TimePoint open_deadline_{};
 };
 
 }  // namespace lbnn::runtime

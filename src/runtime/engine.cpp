@@ -23,14 +23,16 @@ namespace {
 /// of dispatches while backlogged.
 constexpr std::uint64_t kStrideScale = 1ull << 20;
 
-std::int64_t now_us() {
+std::int64_t to_us(TimePoint tp) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
-             Clock::now().time_since_epoch())
+             tp.time_since_epoch())
       .count();
 }
 
 }  // namespace
 
+// No default case and no fallthrough return: -Wswitch (in -Wall) turns a
+// forgotten enumerator into a compile warning instead of a silent "unknown".
 const char* to_string(SubmitStatus status) {
   switch (status) {
     case SubmitStatus::kAccepted:
@@ -41,8 +43,23 @@ const char* to_string(SubmitStatus status) {
       return "unloaded";
     case SubmitStatus::kShuttingDown:
       return "shutting-down";
+    case SubmitStatus::kDeadlineUnmeetable:
+      return "deadline-unmeetable";
   }
-  return "unknown";
+  return "invalid-submit-status";  // out-of-range cast, not an enumerator
+}
+
+bool deadline_unmeetable(TimePoint deadline, TimePoint now,
+                         std::uint64_t ewma_item_us, std::size_t items_ahead,
+                         std::size_t workers) {
+  if (deadline == kNoDeadline) return false;
+  if (deadline <= now) return true;  // already expired at admission
+  if (ewma_item_us == 0) return false;  // no service-time signal yet
+  if (workers == 0) workers = 1;
+  // Best case: every worker drains this model's queue in parallel.
+  const std::uint64_t drain_us =
+      ewma_item_us * ((items_ahead + workers - 1) / workers);
+  return now + std::chrono::microseconds(drain_us) > deadline;
 }
 
 /// One sealed batch in flight. Members write disjoint slots of `outputs`
@@ -56,6 +73,12 @@ struct Engine::BatchWork {
   std::vector<BitVec> outputs;  ///< original PO order
   std::atomic<std::size_t> members_left{0};
   std::atomic<bool> failed{false};
+  /// Exactly one dequeuing worker (the claimer) settles expired requests —
+  /// its writes to Request::expired are ordered before finalize by the
+  /// members_left decrement chain.
+  std::atomic<bool> expiry_claimed{false};
+  /// Every request expired before dispatch: members skip the simulator run.
+  std::atomic<bool> skip_run{false};
   std::mutex error_mu;
   std::string error;
 };
@@ -85,6 +108,8 @@ struct ModelState {
   std::uint32_t weight = 1;
   std::uint64_t stride = kStrideScale;
   std::size_t queue_bound = 0;
+  /// SLO applied to deadline-less submits; zero means none.
+  std::chrono::microseconds default_deadline{0};
 
   struct Member {
     const Program* program = nullptr;
@@ -115,6 +140,15 @@ struct ModelState {
   std::deque<Engine::WorkItem> ready;
   std::uint64_t pass = 0;
   bool in_ready_list = false;
+
+  /// Mirror of ready.size(), maintained under queue_mu but readable without
+  /// it: the admission plane's drain estimate must not take the scheduler
+  /// lock on every submit.
+  std::atomic<std::size_t> queued_items{0};
+  /// EWMA of per-work-item simulator service time (us), fed by workers. 0
+  /// until the first measurable (>= 1 us) sample — admission never sheds on a
+  /// model it has no service signal for.
+  std::atomic<std::uint64_t> ewma_item_us{0};
 
   std::atomic<std::int64_t> last_used_us{0};  ///< admission time, for evict_idle
 
@@ -156,6 +190,10 @@ struct Engine::Impl {
   std::uint64_t vtime = 0;  ///< pass of the most recently dispatched item
   std::uint64_t next_seq = 0;
   bool stopping = false;
+  /// Test instrumentation (see Engine::set_dispatch_hook). Guarded by
+  /// queue_mu; workers grab the shared_ptr during the pop critical section
+  /// and invoke outside all locks.
+  std::shared_ptr<const std::function<void(const std::string&)>> dispatch_hook;
 
   /// The timekeeper sleeps until the earliest open-batch deadline; submit
   /// bumps the epoch so a new (possibly earlier) deadline re-arms the wait.
@@ -181,7 +219,12 @@ struct Engine::Impl {
 };
 
 Engine::Engine(const EngineOptions& options)
-    : options_(options), cache_(options.cache_capacity), impl_(new Impl) {
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : &SystemClock::instance()),
+      cache_(options.cache_capacity),
+      stats_(clock_),
+      impl_(new Impl) {
   std::uint32_t workers = options_.num_workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -224,11 +267,12 @@ ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
   if (bound == 0) bound = options_.default_queue_bound;
   if (bound == 0) bound = 4 * lane_capacity;
   state->queue_bound = bound;
+  state->default_deadline = mopt.default_deadline;
   state->self = state;
-  state->last_used_us.store(now_us());
+  state->last_used_us.store(to_us(clock_->now()));
   ModelState* raw = state.get();
   state->batcher = std::make_unique<Batcher>(
-      state->num_inputs, lane_capacity, options_.batch_timeout,
+      *clock_, state->num_inputs, lane_capacity, options_.batch_timeout,
       [this, raw](Batch&& batch) { enqueue_batch(*raw, std::move(batch)); });
   {
     std::lock_guard<std::mutex> lk(impl_->models_mu);
@@ -317,12 +361,34 @@ void check_arity(const ModelState& m, std::size_t got) {
   }
 }
 
+/// The request's absolute deadline: explicit per-submit wins; otherwise the
+/// model's default SLO anchored at admission time; otherwise none.
+TimePoint effective_deadline(const ModelState& m, TimePoint requested,
+                             TimePoint now) {
+  if (requested != kNoDeadline) return requested;
+  if (m.default_deadline.count() == 0) return kNoDeadline;
+  return now + m.default_deadline;
+}
+
 }  // namespace
 
+/// Would admitting a request with this deadline be dead work, given the
+/// model's queued items (plus the batch the request would join) and its
+/// recent service rate?
+static bool shed_check(const ModelState& m, TimePoint deadline, TimePoint now,
+                       std::size_t workers) {
+  return deadline_unmeetable(
+      deadline, now, m.ewma_item_us.load(std::memory_order_relaxed),
+      m.queued_items.load(std::memory_order_relaxed) + 1, workers);
+}
+
 std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
-                                              std::vector<bool> inputs) {
+                                              std::vector<bool> inputs,
+                                              TimePoint deadline) {
   ModelState* m = state_of(model);
   check_arity(*m, inputs.size());
+  TimePoint now = clock_->now();
+  deadline = effective_deadline(*m, deadline, now);
   // Claim the request BEFORE the accepting checks: shutdown() flips accepting
   // and then drains, so either this claim lands before drain's in_flight read
   // (drain waits for us; timer/workers stay alive until we're answered) or it
@@ -330,6 +396,22 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
   impl_->in_flight.fetch_add(1);
   {
     std::unique_lock<std::mutex> lk(m->mu);
+    const auto shed = [&]() -> void {
+      lk.unlock();
+      stats_.on_shed();
+      m->stats.on_shed();
+      release_requests(1);
+      throw DeadlineExceeded("model '" + m->name +
+                             "': estimated drain time exceeds the deadline");
+    };
+    // Shed BEFORE parking on backpressure — a doomed request must fail in
+    // microseconds, not after waiting out a slot it could only waste. But
+    // lifecycle states take precedence (mirroring try_submit's ordering):
+    // a shut-down engine reports shutdown, not a shed.
+    if (impl_->accepting.load() && m->accepting.load() &&
+        shed_check(*m, deadline, now, workers_.size())) {
+      shed();
+    }
     // Backpressure: wait for an admission slot instead of growing unboundedly.
     m->cv.wait(lk, [&] {
       return !impl_->accepting.load() || !m->accepting.load() ||
@@ -345,9 +427,15 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
       release_requests(1);
       throw Error("model '" + m->name + "' is unloaded");
     }
+    // Re-check after the wait: backpressure may have parked us long enough
+    // that the deadline became unmeetable in the meantime.
+    if (deadline != kNoDeadline) {
+      now = clock_->now();
+      if (shed_check(*m, deadline, now, workers_.size())) shed();
+    }
     ++m->outstanding;
   }
-  return dispatch_admitted(m, std::move(inputs));
+  return dispatch_admitted(m, std::move(inputs), deadline);
 }
 
 /// Post-admission tail shared by submit() and try_submit(). The caller has
@@ -355,12 +443,12 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
 /// to the batcher (rolling both claims back if it throws) and re-arms the
 /// timekeeper when a new batch deadline appeared.
 std::future<std::vector<bool>> Engine::dispatch_admitted(
-    ModelState* m, std::vector<bool>&& inputs) {
-  m->last_used_us.store(now_us());
+    ModelState* m, std::vector<bool>&& inputs, TimePoint deadline) {
+  m->last_used_us.store(to_us(clock_->now()));
   std::future<std::vector<bool>> fut;
   bool opened_batch = false;
   try {
-    fut = m->batcher->submit(std::move(inputs), &opened_batch);
+    fut = m->batcher->submit(std::move(inputs), deadline, &opened_batch);
   } catch (...) {
     {
       std::lock_guard<std::mutex> lk(m->mu);
@@ -383,9 +471,12 @@ std::future<std::vector<bool>> Engine::dispatch_admitted(
 
 SubmitStatus Engine::try_submit(const ModelHandle& model,
                                 std::vector<bool> inputs,
-                                std::future<std::vector<bool>>* result) {
+                                std::future<std::vector<bool>>* result,
+                                TimePoint deadline) {
   ModelState* m = state_of(model);
   check_arity(*m, inputs.size());
+  const TimePoint now = clock_->now();
+  deadline = effective_deadline(*m, deadline, now);
   impl_->in_flight.fetch_add(1);  // same claim-first rationale as submit()
   {
     std::lock_guard<std::mutex> lk(m->mu);
@@ -397,13 +488,19 @@ SubmitStatus Engine::try_submit(const ModelHandle& model,
       release_requests(1);
       return SubmitStatus::kUnloaded;
     }
+    if (shed_check(*m, deadline, now, workers_.size())) {
+      stats_.on_shed();
+      m->stats.on_shed();
+      release_requests(1);
+      return SubmitStatus::kDeadlineUnmeetable;
+    }
     if (m->outstanding >= m->queue_bound) {
       release_requests(1);
       return SubmitStatus::kQueueFull;
     }
     ++m->outstanding;
   }
-  *result = dispatch_admitted(m, std::move(inputs));
+  *result = dispatch_admitted(m, std::move(inputs), deadline);
   return SubmitStatus::kAccepted;
 }
 
@@ -463,7 +560,7 @@ bool Engine::unload(const ModelHandle& model) {
 
 std::size_t Engine::evict_idle(std::chrono::steady_clock::duration min_idle) {
   const std::int64_t cutoff =
-      now_us() -
+      to_us(clock_->now()) -
       std::chrono::duration_cast<std::chrono::microseconds>(min_idle).count();
   std::size_t evicted = 0;
   for (const auto& m : model_snapshot()) {
@@ -500,6 +597,7 @@ void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
       impl_->ready_models.push_back(&model);
       model.in_ready_list = true;
     }
+    model.queued_items.store(model.ready.size(), std::memory_order_relaxed);
     model.stats.on_queue_depth(model.ready.size());
   }
   if (items == 1) {
@@ -518,6 +616,7 @@ void Engine::worker_loop() {
       options_.scheduling == EngineOptions::Scheduling::kGlobalFifo;
   for (;;) {
     WorkItem item;
+    std::shared_ptr<const std::function<void(const std::string&)>> hook;
     {
       std::unique_lock<std::mutex> lk(impl_->queue_mu);
       impl_->queue_cv.wait(lk, [this] {
@@ -535,6 +634,7 @@ void Engine::worker_loop() {
       ModelState* m = impl_->ready_models[best];
       item = std::move(m->ready.front());
       m->ready.pop_front();
+      m->queued_items.store(m->ready.size(), std::memory_order_relaxed);
       impl_->vtime = m->pass;
       m->pass += m->stride;
       if (m->ready.empty()) {
@@ -542,7 +642,9 @@ void Engine::worker_loop() {
         impl_->ready_models.pop_back();
         m->in_ready_list = false;
       }
+      hook = impl_->dispatch_hook;
     }
+    if (hook) (*hook)(item.work->model->name);
 
     // Drop simulators of unloaded models BEFORE the lookup below: a stale
     // entry is a leak, and its key may alias a newly compiled Program.
@@ -554,46 +656,113 @@ void Engine::worker_loop() {
     }
 
     BatchWork& work = *item.work;
+    // The first member dequeued anywhere settles requests that are already
+    // past their deadline: their futures fail NOW, with DeadlineExceeded, and
+    // a fully-expired batch skips the simulator entirely.
+    bool skip = false;
+    if (!work.expiry_claimed.exchange(true)) {
+      if (!drop_expired_requests(work)) work.skip_run.store(true);
+      skip = work.skip_run.load();
+    } else {
+      skip = work.skip_run.load();
+      // The claimer may still be mid-settlement on another worker; deadlines
+      // are immutable after sealing and time only moves forward, so each
+      // member can see "everything here is dead" for itself and skip too.
+      if (!skip) skip = batch_fully_expired(work);
+    }
     const ModelState::Member& member = work.model->members[item.member];
-    try {
-      auto& sim = sims[member.program];
-      if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
+    if (!skip) {
+      try {
+        auto& sim = sims[member.program];
+        if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
 
-      const std::vector<BitVec>* in = &work.inputs;
-      std::vector<BitVec> gathered;
-      if (member.pi_indices != nullptr) {
-        gathered.reserve(member.pi_indices->size());
-        for (const std::uint32_t pi : *member.pi_indices) {
-          gathered.push_back(work.inputs[pi]);
+        const std::vector<BitVec>* in = &work.inputs;
+        std::vector<BitVec> gathered;
+        if (member.pi_indices != nullptr) {
+          gathered.reserve(member.pi_indices->size());
+          for (const std::uint32_t pi : *member.pi_indices) {
+            gathered.push_back(work.inputs[pi]);
+          }
+          in = &gathered;
         }
-        in = &gathered;
+
+        const TimePoint t0 = clock_->now();
+        std::vector<BitVec> out = sim->run(*in);
+        const auto service_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                clock_->now() - t0)
+                .count();
+        stats_.on_sim_run(sim->counters());
+        // Feed the admission shedder's per-item service EWMA. Sub-microsecond
+        // samples are dropped rather than rounded up: under a ManualClock the
+        // simulator takes zero manual time, and learning a fake floor there
+        // would make deterministic tests shed nondeterministically.
+        if (service_us > 0) {
+          ModelState& model_state = *work.model;
+          const auto sample = static_cast<std::uint64_t>(service_us);
+          const std::uint64_t prev =
+              model_state.ewma_item_us.load(std::memory_order_relaxed);
+          model_state.ewma_item_us.store(
+              prev == 0 ? sample : (3 * prev + sample) / 4,
+              std::memory_order_relaxed);
+        }
+
+        if (member.po_indices != nullptr) {
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            work.outputs[(*member.po_indices)[i]] = std::move(out[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < out.size(); ++i) {
+            work.outputs[i] = std::move(out[i]);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lk(work.error_mu);
+        work.failed.store(true);
+        if (work.error.empty()) work.error = e.what();
       }
-
-      std::vector<BitVec> out = sim->run(*in);
-      stats_.on_sim_run(sim->counters());
-
-      if (member.po_indices != nullptr) {
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          work.outputs[(*member.po_indices)[i]] = std::move(out[i]);
-        }
-      } else {
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          work.outputs[i] = std::move(out[i]);
-        }
-      }
-    } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lk(work.error_mu);
-      work.failed.store(true);
-      if (work.error.empty()) work.error = e.what();
     }
 
     if (work.members_left.fetch_sub(1) == 1) finalize(work);
   }
 }
 
+bool Engine::drop_expired_requests(BatchWork& work) {
+  const TimePoint now = clock_->now();
+  std::size_t expired = 0;
+  for (auto& req : work.requests) {
+    // The deadline is inclusive — finishing AT it is on time — so only
+    // now > deadline expires, matching finalize()'s deadline_met boundary.
+    if (req.deadline == kNoDeadline || now <= req.deadline) continue;
+    req.expired = true;
+    ++expired;
+    req.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "request expired in '" + work.model->name + "' queue before dispatch")));
+  }
+  if (expired != 0) {
+    stats_.on_expired(expired);
+    work.model->stats.on_expired(expired);
+  }
+  return expired != work.requests.size();
+}
+
+bool Engine::batch_fully_expired(const BatchWork& work) const {
+  const TimePoint now = clock_->now();
+  for (const auto& req : work.requests) {
+    if (req.deadline == kNoDeadline || now <= req.deadline) return false;
+  }
+  return true;
+}
+
 void Engine::finalize(BatchWork& work) {
   ModelState& m = *work.model;
-  const Clock::time_point now = Clock::now();
+  const TimePoint now = clock_->now();
+  // Requests the dequeue-time expiry pass already failed are settled; only
+  // the live remainder gets values/errors and latency accounting here.
+  std::size_t live = 0;
+  for (const auto& req : work.requests) {
+    if (!req.expired) ++live;
+  }
   // Stats are recorded BEFORE any future resolves: a client that wakes from
   // .get() and immediately calls report() must see its request counted.
   if (work.failed.load()) {
@@ -601,26 +770,35 @@ void Engine::finalize(BatchWork& work) {
     stats_.on_batch(0, m.batcher->lane_capacity());
     m.stats.on_batch(0, m.batcher->lane_capacity());
     for (auto& req : work.requests) {
+      if (req.expired) continue;
       req.result.set_exception(
           std::make_exception_ptr(Error("batch failed: " + work.error)));
     }
-  } else {
+  } else if (live > 0) {
     std::vector<std::uint64_t> latencies;
-    latencies.reserve(work.requests.size());
+    latencies.reserve(live);
+    std::uint64_t met = 0;
     for (const auto& req : work.requests) {
+      if (req.expired) continue;
       const auto latency =
           std::chrono::duration_cast<std::chrono::microseconds>(now - req.enqueued);
       latencies.push_back(static_cast<std::uint64_t>(latency.count()));
+      // A deadline-less completion is always good work; a deadlined one only
+      // counts toward goodput when it finished in time.
+      if (req.deadline == kNoDeadline || now <= req.deadline) ++met;
     }
-    stats_.on_requests_done(latencies);
-    m.stats.on_requests_done(latencies);
-    stats_.on_batch(work.requests.size(), m.batcher->lane_capacity());
-    m.stats.on_batch(work.requests.size(), m.batcher->lane_capacity());
+    stats_.on_requests_done(latencies, met);
+    m.stats.on_requests_done(latencies, met);
+    stats_.on_batch(live, m.batcher->lane_capacity());
+    m.stats.on_batch(live, m.batcher->lane_capacity());
     auto per_request = unpack_outputs(work.outputs, work.requests.size());
     for (std::size_t i = 0; i < work.requests.size(); ++i) {
+      if (work.requests[i].expired) continue;
       work.requests[i].result.set_value(std::move(per_request[i]));
     }
   }
+  // live == 0 && !failed: the whole batch expired at dequeue and the
+  // simulator never ran — no batch/lane accounting, the lanes were reclaimed.
   const std::size_t n = work.requests.size();
   {
     std::lock_guard<std::mutex> lk(m.mu);
@@ -643,7 +821,7 @@ void Engine::timer_loop() {
     if (impl_->timer_stop) return;
     const std::uint64_t seen = impl_->timer_epoch;
 
-    std::optional<Clock::time_point> earliest;
+    std::optional<TimePoint> earliest;
     auto models = model_snapshot();
     for (const auto& m : models) {
       const auto d = m->batcher->deadline();
@@ -654,10 +832,12 @@ void Engine::timer_loop() {
       return impl_->timer_stop || impl_->timer_epoch != seen;
     };
     if (earliest) {
-      impl_->timer_cv.wait_until(lk, *earliest, woken);
+      // Sleep by the engine's clock: under a ManualClock this parks until a
+      // test advances time past the seal deadline — no real waiting at all.
+      clock_->wait_until(lk, impl_->timer_cv, *earliest, woken);
       if (impl_->timer_stop) return;
       lk.unlock();
-      const Clock::time_point now = Clock::now();
+      const TimePoint now = clock_->now();
       // Seal outside models_mu: on_seal packs the whole batch, and submit()
       // needs no registry lock but loads/unloads do — the snapshot's
       // shared_ptrs keep every batcher alive across the seal.
@@ -669,6 +849,17 @@ void Engine::timer_loop() {
   }
 }
 
+void Engine::set_dispatch_hook(std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lk(impl_->queue_mu);
+  if (hook) {
+    impl_->dispatch_hook =
+        std::make_shared<const std::function<void(const std::string&)>>(
+            std::move(hook));
+  } else {
+    impl_->dispatch_hook = nullptr;
+  }
+}
+
 ServeReport Engine::report() const {
   ServeReport r = stats_.report();
   for (const auto& m : model_snapshot()) {
@@ -676,6 +867,12 @@ ServeReport Engine::report() const {
     mr.name = m->name;
     mr.weight = m->weight;
     mr.queue_bound = m->queue_bound;
+    // Per-model goodput shares the engine-wide wall clock (models load at
+    // different times, but one common denominator keeps rows comparable).
+    mr.goodput_per_sec =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(mr.deadline_met) / r.wall_seconds
+            : 0.0;
     r.per_model.push_back(std::move(mr));
   }
   return r;

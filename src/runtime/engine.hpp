@@ -11,6 +11,7 @@
 #include "core/compiler.hpp"
 #include "netlist/netlist.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/clock.hpp"
 #include "runtime/program_cache.hpp"
 #include "runtime/serve_stats.hpp"
 
@@ -22,10 +23,12 @@ using ModelId = std::uint32_t;
 
 /// Outcome of a non-blocking admission attempt.
 enum class SubmitStatus : std::uint8_t {
-  kAccepted,      ///< request admitted; the future will resolve
-  kQueueFull,     ///< the model's queue bound is reached; try again later
-  kUnloaded,      ///< the handle's model has been unloaded from this engine
-  kShuttingDown,  ///< the engine is shutting down
+  kAccepted,            ///< request admitted; the future will resolve
+  kQueueFull,           ///< the model's queue bound is reached; try again later
+  kUnloaded,            ///< the handle's model has been unloaded from this engine
+  kShuttingDown,        ///< the engine is shutting down
+  kDeadlineUnmeetable,  ///< estimated queue drain time already exceeds the
+                        ///< request's deadline; accepting it would be dead work
 };
 
 const char* to_string(SubmitStatus status);
@@ -41,7 +44,23 @@ struct ModelOptions {
   /// (stride scheduling): with both backlogged, a weight-4 model is
   /// dispatched 4x as often as a weight-1 model. 0 is treated as 1.
   std::uint32_t weight = 1;
+  /// SLO for requests submitted without an explicit deadline: each gets
+  /// `admission time + default_deadline` as its absolute deadline. 0 (the
+  /// default) means such requests never expire. An explicit per-submit
+  /// deadline always wins over this.
+  std::chrono::microseconds default_deadline{0};
 };
+
+/// Deadline-admission estimate, factored out for deterministic unit testing:
+/// with `items_ahead` dispatchable work items queued, a per-item service-time
+/// EWMA of `ewma_item_us`, and `workers` draining in parallel, would the
+/// request certainly miss `deadline`? Optimistic on purpose (assumes all
+/// workers drain this model's queue): shedding only fires when the request is
+/// doomed even in the best case, so accepted work is never rejected
+/// spuriously. An ewma of 0 means "no signal yet" — never shed on it.
+bool deadline_unmeetable(TimePoint deadline, TimePoint now,
+                         std::uint64_t ewma_item_us, std::size_t items_ahead,
+                         std::size_t workers);
 
 struct ModelState;  // internal; defined in engine.cpp
 
@@ -94,6 +113,11 @@ struct EngineOptions {
   /// ModelOptions::queue_bound fallback when a load leaves it 0; 0 here means
   /// 4x the model's lane capacity (a few batches of headroom).
   std::size_t default_queue_bound = 0;
+  /// Time source for every runtime stamp (batch seal deadlines, request
+  /// deadlines, latency/goodput accounting, idle eviction). nullptr means the
+  /// system steady clock; tests inject a ManualClock for deterministic
+  /// timing. Must outlive the engine.
+  ClockSource* clock = nullptr;
 };
 
 /// Batched multi-threaded serving engine over the LPU toolchain.
@@ -144,15 +168,24 @@ class Engine {
   /// to one Boolean per primary output once the sample's batch has run.
   /// Blocks while the model's queue bound is reached (backpressure). Throws
   /// lbnn::Error on an empty/foreign handle, arity mismatch, unloaded model,
-  /// or engine shutdown.
+  /// or engine shutdown — and DeadlineExceeded when the model's estimated
+  /// drain time already exceeds the deadline (admission shedding). The
+  /// request's deadline is `deadline` if given, else admission time +
+  /// ModelOptions::default_deadline when that is set, else none. A request
+  /// still queued past its deadline is dropped at dequeue: its future fails
+  /// with DeadlineExceeded instead of simulating dead work.
   std::future<std::vector<bool>> submit(const ModelHandle& model,
-                                        std::vector<bool> inputs);
+                                        std::vector<bool> inputs,
+                                        TimePoint deadline = kNoDeadline);
 
   /// Non-blocking submit: never waits for queue space. On kAccepted, *result
-  /// holds the future; any other status leaves *result untouched. Throws only
-  /// on usage bugs (empty/foreign handle, arity mismatch).
+  /// holds the future; any other status (kQueueFull, kDeadlineUnmeetable on a
+  /// doomed deadline, ...) leaves *result untouched. Throws only on usage
+  /// bugs (empty/foreign handle, arity mismatch). Deadline semantics as in
+  /// submit().
   SubmitStatus try_submit(const ModelHandle& model, std::vector<bool> inputs,
-                          std::future<std::vector<bool>>* result);
+                          std::future<std::vector<bool>>* result,
+                          TimePoint deadline = kNoDeadline);
 
   /// Stop admitting to this model, drain its outstanding requests (every
   /// accepted future still resolves), release its program-cache pin, and
@@ -180,6 +213,15 @@ class Engine {
   ProgramCache& program_cache() { return cache_; }
   std::size_t num_workers() const { return workers_.size(); }
   std::size_t num_models() const;
+  /// The engine's time source (the injected one, or the system clock).
+  ClockSource& clock() const { return *clock_; }
+
+  /// Test instrumentation, mirroring ProgramCache::set_compile_hook: called
+  /// by a worker with the model's name right after it dequeues a work item
+  /// (no engine lock held — a blocking hook stalls that worker, nothing
+  /// else). With one worker the call order IS the dispatch order, which makes
+  /// the stride scheduler's drain order directly assertable. nullptr clears.
+  void set_dispatch_hook(std::function<void(const std::string&)> hook);
 
   // ----------------------------------------------------------------- v1 shim
   // Deprecated PR 1 API: flat grow-only ModelId registry. Each shim call maps
@@ -210,7 +252,14 @@ class Engine {
   ModelState* state_of(const ModelHandle& handle) const;
   ModelHandle legacy_at(ModelId model) const;
   std::future<std::vector<bool>> dispatch_admitted(ModelState* m,
-                                                   std::vector<bool>&& inputs);
+                                                   std::vector<bool>&& inputs,
+                                                   TimePoint deadline);
+  /// Fail already-expired requests of a just-dequeued batch (first member
+  /// only); returns whether any live request remains to simulate.
+  bool drop_expired_requests(BatchWork& work);
+  /// Read-only check (deadlines are immutable after sealing): is every
+  /// request in the batch past its deadline right now?
+  bool batch_fully_expired(const BatchWork& work) const;
   void enqueue_batch(ModelState& model, Batch&& batch);
   void finalize(BatchWork& work);
   void release_requests(std::size_t n);
@@ -219,6 +268,7 @@ class Engine {
   std::vector<std::shared_ptr<ModelState>> model_snapshot() const;
 
   EngineOptions options_;
+  ClockSource* clock_;  ///< options_.clock or the shared SystemClock
   ProgramCache cache_;
   ServeStats stats_;
 

@@ -30,10 +30,12 @@ std::uint64_t LatencyHistogram::percentile_us(double p) const {
   return ~0ull;
 }
 
-void ModelStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us) {
+void ModelStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us,
+                                  std::uint64_t deadline_met) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const std::uint64_t us : latencies_us) hist_.record(us);
   requests_ += latencies_us.size();
+  deadline_met_ += deadline_met;
 }
 
 void ModelStats::on_batch(std::size_t samples, std::size_t lane_capacity) {
@@ -46,6 +48,16 @@ void ModelStats::on_batch(std::size_t samples, std::size_t lane_capacity) {
 void ModelStats::on_queue_depth(std::size_t depth) {
   std::lock_guard<std::mutex> lk(mu_);
   if (depth > queue_depth_hwm_) queue_depth_hwm_ = depth;
+}
+
+void ModelStats::on_shed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++shed_;
+}
+
+void ModelStats::on_expired(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  expired_ += n;
 }
 
 ModelReport ModelStats::report() const {
@@ -61,6 +73,9 @@ ModelReport ModelStats::report() const {
   r.p50_latency_us = hist_.percentile_us(50.0);
   r.p99_latency_us = hist_.percentile_us(99.0);
   r.queue_depth_hwm = queue_depth_hwm_;
+  r.shed = shed_;
+  r.expired = expired_;
+  r.deadline_met = deadline_met_;
   return r;
 }
 
@@ -68,12 +83,15 @@ void ServeStats::on_request_done(std::uint64_t latency_us) {
   std::lock_guard<std::mutex> lk(mu_);
   hist_.record(latency_us);
   ++requests_;
+  ++deadline_met_;  // single-request path carries no deadline: always good
 }
 
-void ServeStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us) {
+void ServeStats::on_requests_done(const std::vector<std::uint64_t>& latencies_us,
+                                  std::uint64_t deadline_met) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const std::uint64_t us : latencies_us) hist_.record(us);
   requests_ += latencies_us.size();
+  deadline_met_ += deadline_met;
 }
 
 void ServeStats::on_batch(std::size_t samples, std::size_t lane_capacity) {
@@ -95,6 +113,16 @@ void ServeStats::on_sim_run(const SimCounters& c) {
   util_weight_ += c.lpe_utilization * static_cast<double>(c.wavefronts);
 }
 
+void ServeStats::on_shed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++shed_;
+}
+
+void ServeStats::on_expired(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  expired_ += n;
+}
+
 ServeReport ServeStats::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   ServeReport r;
@@ -107,9 +135,14 @@ ServeReport ServeStats::report() const {
                          : static_cast<double>(samples_) / static_cast<double>(lanes_offered_);
   r.p50_latency_us = hist_.percentile_us(50.0);
   r.p99_latency_us = hist_.percentile_us(99.0);
-  r.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  r.wall_seconds = std::chrono::duration<double>(clock_->now() - start_).count();
   r.requests_per_sec =
       r.wall_seconds > 0.0 ? static_cast<double>(requests_) / r.wall_seconds : 0.0;
+  r.shed = shed_;
+  r.expired = expired_;
+  r.deadline_met = deadline_met_;
+  r.goodput_per_sec =
+      r.wall_seconds > 0.0 ? static_cast<double>(deadline_met_) / r.wall_seconds : 0.0;
   r.sim = sim_;
   r.sim.lpe_utilization =
       sim_.wavefronts == 0 ? 0.0 : util_weight_ / static_cast<double>(sim_.wavefronts);
@@ -120,9 +153,10 @@ void ServeStats::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   hist_ = LatencyHistogram{};
   requests_ = batches_ = samples_ = lanes_offered_ = 0;
+  shed_ = expired_ = deadline_met_ = 0;
   sim_ = SimCounters{};
   util_weight_ = 0.0;
-  start_ = std::chrono::steady_clock::now();
+  start_ = clock_->now();
 }
 
 }  // namespace lbnn::runtime

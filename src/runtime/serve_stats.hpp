@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lpu/simulator.hpp"
+#include "runtime/clock.hpp"
 
 namespace lbnn::runtime {
 
@@ -31,7 +32,8 @@ class LatencyHistogram {
 
 /// Per-model slice of a ServeReport: one row per loaded model, so the
 /// weighted-fair scheduler's isolation properties are observable (a starved
-/// model shows up as a high p99 and a deep queue high-water mark).
+/// model shows up as a high p99 and a deep queue high-water mark) and so is
+/// the SLO subsystem (shed/expired counters, on-deadline completions).
 struct ModelReport {
   std::string name;
   std::uint32_t weight = 1;       ///< QoS weight (stride scheduling share)
@@ -45,6 +47,17 @@ struct ModelReport {
   std::uint64_t p99_latency_us = 0;
   /// Deepest the model's ready queue (dispatchable work items) ever got.
   std::size_t queue_depth_hwm = 0;
+  /// Admission rejections because the estimated drain time already exceeded
+  /// the request deadline (SubmitStatus::kDeadlineUnmeetable / the blocking
+  /// path's DeadlineExceeded throw).
+  std::uint64_t shed = 0;
+  /// Requests dropped at dequeue because their deadline had already passed
+  /// (futures failed with DeadlineExceeded, no simulation work spent).
+  std::uint64_t expired = 0;
+  /// Completions that made their deadline (deadline-less requests count).
+  std::uint64_t deadline_met = 0;
+  /// deadline_met / wall-clock seconds — filled by Engine::report().
+  double goodput_per_sec = 0.0;
 };
 
 /// Snapshot of a ServeStats aggregation (all values since construction or the
@@ -60,6 +73,15 @@ struct ServeReport {
   std::uint64_t p99_latency_us = 0;
   double wall_seconds = 0.0;
   double requests_per_sec = 0.0;
+  /// SLO counters: admission rejections (shed), dequeue drops (expired), and
+  /// completions that made their deadline (deadline-less requests count as
+  /// met — completing them is always good work).
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t deadline_met = 0;
+  /// On-deadline completions per second — the number that must not degrade
+  /// when admission shedding turns on (see bench/serve_overload).
+  double goodput_per_sec = 0.0;
   /// Simulator counters summed over every member run. lpe_utilization is the
   /// wavefront-weighted mean of the per-run utilizations.
   SimCounters sim;
@@ -70,14 +92,18 @@ struct ServeReport {
 
 /// Thread-safe per-model serving metrics, embedded in each loaded model's
 /// state. The Engine feeds it alongside the global ServeStats; report() fills
-/// everything except the identity fields (name/weight/bound), which the
-/// Engine owns.
+/// everything except the identity fields (name/weight/bound) and the derived
+/// goodput rate, which the Engine owns.
 class ModelStats {
  public:
-  void on_requests_done(const std::vector<std::uint64_t>& latencies_us);
+  /// `deadline_met` counts how many of these completions made their deadline.
+  void on_requests_done(const std::vector<std::uint64_t>& latencies_us,
+                        std::uint64_t deadline_met);
   void on_batch(std::size_t samples, std::size_t lane_capacity);
   /// Ready-queue depth observed after an enqueue; keeps the high-water mark.
   void on_queue_depth(std::size_t depth);
+  void on_shed();
+  void on_expired(std::size_t n);
 
   ModelReport report() const;
 
@@ -89,37 +115,53 @@ class ModelStats {
   std::uint64_t samples_ = 0;
   std::uint64_t lanes_offered_ = 0;
   std::size_t queue_depth_hwm_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t deadline_met_ = 0;
 };
 
 /// Thread-safe serving metrics: request latencies (for p50/p99), batch lane
-/// occupancy, and SimCounters aggregated across every simulator run the
-/// engine's workers execute.
+/// occupancy, SLO outcomes (shed/expired/on-deadline), and SimCounters
+/// aggregated across every simulator run the engine's workers execute. Wall
+/// time comes from the injected clock, so ManualClock tests get deterministic
+/// rates.
 class ServeStats {
  public:
-  ServeStats() : start_(std::chrono::steady_clock::now()) {}
+  /// `clock` must outlive the stats; nullptr means the system clock.
+  explicit ServeStats(ClockSource* clock = nullptr)
+      : clock_(clock != nullptr ? clock : &SystemClock::instance()),
+        start_(clock_->now()) {}
 
   void on_request_done(std::uint64_t latency_us);
   /// Record a whole batch's request latencies under one lock acquisition
-  /// (finalize is on the worker hot path).
-  void on_requests_done(const std::vector<std::uint64_t>& latencies_us);
+  /// (finalize is on the worker hot path). `deadline_met` counts how many of
+  /// them made their deadline.
+  void on_requests_done(const std::vector<std::uint64_t>& latencies_us,
+                        std::uint64_t deadline_met);
   void on_batch(std::size_t samples, std::size_t lane_capacity);
   void on_sim_run(const SimCounters& c);
+  void on_shed();
+  void on_expired(std::size_t n);
 
   ServeReport report() const;
   void reset();
 
  private:
   mutable std::mutex mu_;
+  ClockSource* clock_;
   LatencyHistogram hist_;
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t lanes_offered_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t deadline_met_ = 0;
   SimCounters sim_;
   /// Sum of (lpe_utilization * wavefronts) per run; report() divides by the
   /// summed wavefronts to recover the weighted mean.
   double util_weight_ = 0.0;
-  std::chrono::steady_clock::time_point start_;
+  TimePoint start_;
 };
 
 }  // namespace lbnn::runtime

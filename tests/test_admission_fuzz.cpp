@@ -1,0 +1,197 @@
+// Randomized admission/lifecycle property test: a seeded interleaving of
+// submit / try_submit / unload / evict_idle / drain across 4 models drives
+// the engine through its whole admission surface, then asserts the three
+// properties the serving API promises:
+//
+//   1. every accepted future resolves exactly once — to a value or an error,
+//      never hanging, never left unresolved;
+//   2. accepted-count bookkeeping closes: ServeReport::requests equals the
+//      number of accepted requests (nothing double-counted or dropped), and
+//      no shed/expired events occur when no deadlines are in play;
+//   3. results are bit-exact against a direct LpuSimulator::run of the same
+//      compiled program (the runtime adds batching/threading, never bits).
+//
+// The op stream is reproducible from its seed (lbnn::Rng is platform-stable);
+// the worker/timer interleaving underneath varies, which is the point — the
+// assertions must hold for all of them.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/compiler.hpp"
+#include "lpu/simulator.hpp"
+#include "netlist/random_circuits.hpp"
+#include "runtime/engine.hpp"
+
+namespace lbnn::runtime {
+namespace {
+
+constexpr int kModels = 4;
+
+CompileOptions small_lpu() {
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  return opt;  // word width 2m = 16 lanes
+}
+
+/// One issued-and-accepted request, held until the end-of-run audit.
+struct PendingRequest {
+  int model = 0;
+  std::vector<bool> inputs;
+  std::future<std::vector<bool>> future;
+};
+
+/// Reference oracle: the same program the engine serves, run directly on a
+/// width-1 word per request.
+std::vector<bool> direct_run(LpuSimulator& sim, const Netlist& nl,
+                             const std::vector<bool>& bits) {
+  std::vector<BitVec> inputs(nl.num_inputs(), BitVec(1));
+  for (std::size_t pi = 0; pi < bits.size(); ++pi) {
+    if (bits[pi]) inputs[pi].set(0, true);
+  }
+  const std::vector<BitVec> out = sim.run(inputs);
+  std::vector<bool> result(out.size());
+  for (std::size_t po = 0; po < out.size(); ++po) result[po] = out[po].get(0);
+  return result;
+}
+
+void run_fuzz_round(std::uint64_t seed, int num_ops) {
+  Rng circuits(900 + seed);
+  std::vector<Netlist> nls;
+  for (int i = 0; i < kModels; ++i) {
+    nls.push_back(reconvergent_grid(8, 4 + i, circuits));
+  }
+  const CompileOptions copt = small_lpu();
+  // Direct simulators over the identical compiled artifact (the program
+  // cache fingerprints netlist + options, so these are the same programs the
+  // engine's workers execute).
+  std::vector<CompileResult> compiled;
+  std::vector<LpuSimulator> sims;
+  compiled.reserve(kModels);
+  for (int i = 0; i < kModels; ++i) compiled.push_back(compile(nls[i], copt));
+  sims.reserve(kModels);
+  for (int i = 0; i < kModels; ++i) sims.emplace_back(compiled[i].program);
+
+  EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.batch_timeout = std::chrono::microseconds(50);
+  eopt.compile = copt;
+  Engine engine(eopt);
+
+  std::vector<ModelHandle> handles(kModels);
+  std::vector<int> generation(kModels, 0);
+  const auto ensure_loaded = [&](int i) {
+    if (handles[i] && handles[i].loaded()) return;
+    ModelOptions mopt;
+    mopt.queue_bound = 48;
+    mopt.weight = static_cast<std::uint32_t>(1 + i);
+    handles[i] = engine.load(
+        "m" + std::to_string(i) + "-g" + std::to_string(++generation[i]),
+        nls[i], mopt);
+  };
+  for (int i = 0; i < kModels; ++i) ensure_loaded(i);
+
+  Rng rng(seed);
+  std::vector<PendingRequest> pending;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;  // try_submit non-accepted + submit throws
+
+  for (int op = 0; op < num_ops; ++op) {
+    const int model = static_cast<int>(rng.next_below(kModels));
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 42) {
+      // Blocking submit. May throw if the model lost a lifecycle race.
+      ensure_loaded(model);
+      std::vector<bool> bits(nls[model].num_inputs());
+      for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+      try {
+        auto fut = engine.submit(handles[model], bits);
+        pending.push_back({model, std::move(bits), std::move(fut)});
+        ++accepted;
+      } catch (const Error&) {
+        ++rejected;
+      }
+    } else if (dice < 84) {
+      ensure_loaded(model);
+      std::vector<bool> bits(nls[model].num_inputs());
+      for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+      std::future<std::vector<bool>> fut;
+      const SubmitStatus st = engine.try_submit(handles[model], bits, &fut);
+      if (st == SubmitStatus::kAccepted) {
+        pending.push_back({model, std::move(bits), std::move(fut)});
+        ++accepted;
+      } else {
+        ++rejected;
+        EXPECT_FALSE(fut.valid());  // rejection never hands out a future
+      }
+    } else if (dice < 90) {
+      // unload() drains the model: its outstanding futures resolve before it
+      // returns. A stale/empty handle is a clean false.
+      engine.unload(handles[model]);
+    } else if (dice < 94) {
+      engine.evict_idle(std::chrono::seconds(0));
+    } else if (dice < 97) {
+      engine.drain();
+    } else {
+      // Stale-handle probe: submits against an unloaded generation must fail
+      // cleanly (status/exception), never corrupt accounting.
+      if (handles[model] && !handles[model].loaded()) {
+        std::future<std::vector<bool>> fut;
+        const SubmitStatus st = engine.try_submit(
+            handles[model], std::vector<bool>(nls[model].num_inputs()), &fut);
+        EXPECT_EQ(st, SubmitStatus::kUnloaded);
+      }
+    }
+  }
+
+  engine.drain();
+
+  // Property 1: every accepted future is resolved after the final drain.
+  // Property 3: each resolved value is bit-exact vs the direct simulator.
+  std::uint64_t resolved = 0;
+  for (auto& req : pending) {
+    ASSERT_EQ(req.future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "accepted future left unresolved (seed " << seed << ")";
+    try {
+      const std::vector<bool> got = req.future.get();
+      const std::vector<bool> want =
+          direct_run(sims[req.model], nls[req.model], req.inputs);
+      EXPECT_EQ(got, want) << "bit mismatch, model " << req.model << " seed "
+                           << seed;
+    } catch (const Error&) {
+      // Acceptable resolution (e.g. batch failure) — but never a hang.
+    }
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, accepted);
+
+  // Property 2: accounting closes. Global stats outlive unloads, so every
+  // accepted request is a completed request; nothing was shed or expired
+  // (no deadlines in this stream) and completing deadline-less work always
+  // counts as goodput.
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.requests, accepted);
+  EXPECT_EQ(rep.deadline_met, accepted);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.expired, 0u);
+  // Every completed lane is a completed request: batch sample accounting
+  // agrees with the request ledger.
+  EXPECT_EQ(rep.samples, accepted);
+  (void)rejected;
+}
+
+TEST(AdmissionFuzz, Seed1) { run_fuzz_round(1, 400); }
+TEST(AdmissionFuzz, Seed2) { run_fuzz_round(2, 400); }
+TEST(AdmissionFuzz, Seed3) { run_fuzz_round(3, 400); }
+
+}  // namespace
+}  // namespace lbnn::runtime

@@ -11,6 +11,7 @@
 #include "netlist/random_circuits.hpp"
 #include "netlist/simulate.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/clock.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/program_cache.hpp"
 #include "runtime/serve_stats.hpp"
@@ -210,8 +211,9 @@ TEST(Engine, LegacyModelIdShim) {
 #pragma GCC diagnostic pop
 
 TEST(Batcher, SealsWhenLanesFill) {
+  ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(2, 4, std::chrono::hours(1),
+  Batcher batcher(clock, 2, 4, std::chrono::hours(1),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   std::vector<std::future<std::vector<bool>>> futs;
   for (int i = 0; i < 9; ++i) futs.push_back(batcher.submit({true, false}));
@@ -225,23 +227,93 @@ TEST(Batcher, SealsWhenLanesFill) {
   EXPECT_FALSE(batcher.deadline().has_value());
 }
 
-TEST(Batcher, SealsOnTimeoutOnly) {
+// The seal deadline comes from the injected clock, not the wall clock: a
+// partial batch seals exactly max_wait after its first request, driven purely
+// by ManualClock::advance — no real sleeping anywhere.
+TEST(Batcher, SealsOnTimeoutManualClock) {
+  ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(1, 8, std::chrono::microseconds(500),
+  Batcher batcher(clock, 1, 8, std::chrono::microseconds(500),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   auto fut = batcher.submit({true});
   const auto deadline = batcher.deadline();
   ASSERT_TRUE(deadline.has_value());
-  // Before the deadline nothing seals; after it, the partial batch does.
-  batcher.seal_if_expired(*deadline - std::chrono::microseconds(1));
+  EXPECT_EQ(*deadline, clock.now() + std::chrono::microseconds(500));
+
+  // One tick short of the timeout: nothing seals.
+  clock.advance(std::chrono::microseconds(499));
+  batcher.seal_if_expired(clock.now());
   EXPECT_TRUE(batch_sizes.empty());
-  batcher.seal_if_expired(*deadline);
-  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{1}));
+  // A second request joins the SAME batch and must not push the deadline out:
+  // the seal timer runs from the OLDEST request.
+  auto fut2 = batcher.submit({false});
+  EXPECT_EQ(batcher.deadline(), deadline);
+  // The final tick: the partial batch (both requests) seals.
+  clock.advance(std::chrono::microseconds(1));
+  batcher.seal_if_expired(clock.now());
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2}));
   EXPECT_FALSE(batcher.deadline().has_value());
 }
 
+// Lane-full sealing racing the timeout: when the batch fills at the very
+// moment its deadline expires, the inline lane-full seal wins and the
+// (logically concurrent) timer call finds nothing left to seal — the batch is
+// delivered exactly once.
+TEST(Batcher, SealOnLaneFullRacesTimeout) {
+  ManualClock clock;
+  std::vector<std::size_t> batch_sizes;
+  Batcher batcher(clock, 1, 2, std::chrono::microseconds(100),
+                  [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
+  auto f1 = batcher.submit({true});
+  // Time reaches the deadline exactly as the filling request arrives...
+  clock.advance(std::chrono::microseconds(100));
+  auto f2 = batcher.submit({false});  // lane-full: seals inline
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2}));
+  // ...so the timer's expiry sweep must be a no-op, not a double seal.
+  batcher.seal_if_expired(clock.now());
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(batcher.open_count(), 0u);
+}
+
+// Zero max_wait: every open batch is born expired — the first expiry sweep
+// after a submit seals it, even with no time passing at all.
+TEST(Batcher, ZeroTimeoutSealsImmediately) {
+  ManualClock clock;
+  std::vector<std::size_t> batch_sizes;
+  Batcher batcher(clock, 1, 8, std::chrono::microseconds(0),
+                  [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
+  bool opened = false;
+  auto f1 = batcher.submit({true}, kNoDeadline, &opened);
+  EXPECT_TRUE(opened);  // a deadline (now + 0) exists and is already due
+  ASSERT_TRUE(batcher.deadline().has_value());
+  batcher.seal_if_expired(clock.now());  // no advance needed
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{1}));
+  // Each subsequent request opens (and immediately expires) its own batch.
+  auto f2 = batcher.submit({false});
+  batcher.seal_if_expired(clock.now());
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{1, 1}));
+}
+
+// Request deadlines ride through the batcher untouched: stamped on the
+// Request for the engine's dequeue-time expiry handling.
+TEST(Batcher, StampsRequestDeadlines) {
+  ManualClock clock;
+  std::vector<Request> sealed;
+  Batcher batcher(clock, 1, 2, std::chrono::hours(1), [&](Batch&& b) {
+    for (auto& r : b.requests) sealed.push_back(std::move(r));
+  });
+  const TimePoint slo = clock.now() + std::chrono::milliseconds(5);
+  auto f1 = batcher.submit({true}, slo);
+  auto f2 = batcher.submit({false});  // no deadline
+  ASSERT_EQ(sealed.size(), 2u);
+  EXPECT_EQ(sealed[0].deadline, slo);
+  EXPECT_EQ(sealed[1].deadline, kNoDeadline);
+  EXPECT_EQ(sealed[0].enqueued, clock.now());
+}
+
 TEST(Batcher, RejectsWrongArity) {
-  Batcher batcher(3, 4, std::chrono::hours(1), [](Batch&&) {});
+  ManualClock clock;
+  Batcher batcher(clock, 3, 4, std::chrono::hours(1), [](Batch&&) {});
   EXPECT_THROW(batcher.submit({true, false}), Error);
 }
 
@@ -404,13 +476,42 @@ TEST(ServeStats, AggregatesBatchesAndSims) {
   EXPECT_EQ(rep.requests, 1u);
 }
 
+// Wall-clock-derived figures (rates, goodput) are stamped off the injected
+// clock: a ManualClock makes them exact instead of host-speed-dependent.
+TEST(ServeStats, RatesAreDeterministicOnManualClock) {
+  ManualClock clock;
+  ServeStats stats(&clock);
+  stats.on_requests_done({100, 200, 300, 400}, /*deadline_met=*/3);
+  stats.on_shed();
+  stats.on_shed();
+  stats.on_expired(5);
+  clock.advance(std::chrono::seconds(2));
+  const ServeReport rep = stats.report();
+  EXPECT_EQ(rep.requests, 4u);
+  EXPECT_EQ(rep.shed, 2u);
+  EXPECT_EQ(rep.expired, 5u);
+  EXPECT_EQ(rep.deadline_met, 3u);
+  EXPECT_DOUBLE_EQ(rep.wall_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(rep.requests_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(rep.goodput_per_sec, 1.5);
+  // reset() re-anchors on the same clock.
+  stats.reset();
+  clock.advance(std::chrono::seconds(1));
+  const ServeReport fresh = stats.report();
+  EXPECT_EQ(fresh.requests, 0u);
+  EXPECT_EQ(fresh.shed, 0u);
+  EXPECT_DOUBLE_EQ(fresh.wall_seconds, 1.0);
+}
+
 TEST(ModelStats, PerModelBreakdown) {
   ModelStats stats;
-  stats.on_requests_done({100, 200, 400});
+  stats.on_requests_done({100, 200, 400}, /*deadline_met=*/2);
   stats.on_batch(3, 16);
   stats.on_queue_depth(2);
   stats.on_queue_depth(7);
   stats.on_queue_depth(4);  // hwm keeps the peak, not the last sample
+  stats.on_shed();
+  stats.on_expired(2);
   const ModelReport rep = stats.report();
   EXPECT_EQ(rep.requests, 3u);
   EXPECT_EQ(rep.batches, 1u);
@@ -419,6 +520,39 @@ TEST(ModelStats, PerModelBreakdown) {
   EXPECT_DOUBLE_EQ(rep.lane_occupancy, 3.0 / 16.0);
   EXPECT_LE(rep.p50_latency_us, rep.p99_latency_us);
   EXPECT_EQ(rep.queue_depth_hwm, 7u);
+  EXPECT_EQ(rep.shed, 1u);
+  EXPECT_EQ(rep.expired, 2u);
+  EXPECT_EQ(rep.deadline_met, 2u);
+}
+
+// Engine-level ManualClock integration: a partial batch seals when the TEST
+// advances time past batch_timeout — the timekeeper thread sleeps on the
+// manual clock, so no real timer is involved and the test never sleeps.
+TEST(Engine, ManualClockDrivesBatchTimeout) {
+  ManualClock clock;
+  Rng gen(55);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt;
+  eopt.num_workers = 1;
+  eopt.compile = small_lpu();
+  eopt.batch_timeout = std::chrono::milliseconds(10);
+  eopt.clock = &clock;
+  Engine engine(eopt);
+  const ModelHandle grid = engine.load("grid", nl);
+
+  auto fut = engine.submit(grid, std::vector<bool>(nl.num_inputs(), true));
+  // Partial batch: under a frozen manual clock it can never seal on its own.
+  clock.advance(std::chrono::milliseconds(9));
+  EXPECT_EQ(fut.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+  // Crossing batch_timeout wakes the timekeeper, seals, runs, resolves.
+  clock.advance(std::chrono::milliseconds(1));
+  const auto expect =
+      simulate_scalar(nl, std::vector<bool>(nl.num_inputs(), true));
+  EXPECT_EQ(fut.get(), expect);
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.requests, 1u);
+  EXPECT_EQ(rep.deadline_met, 1u);  // no deadline set: completing counts
 }
 
 }  // namespace
