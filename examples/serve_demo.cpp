@@ -141,6 +141,9 @@ int main() {
             << " on-deadline req/s (" << rep.deadline_met << " met, "
             << rep.shed << " shed at admission, " << rep.expired
             << " expired in queue)\n";
+  std::cout << "member work items " << rep.member_runs << " (" << rep.steals
+            << " stolen by idle workers), straggler gap p99 <= "
+            << rep.straggler_gap_p99_us << " us\n";
   std::cout << "simulated " << rep.sim.clock_cycles << " LPU clock cycles, "
             << rep.sim.lpe_computes << " LPE computes\n";
 

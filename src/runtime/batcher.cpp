@@ -32,15 +32,24 @@ std::vector<std::vector<bool>> unpack_outputs(const std::vector<BitVec>& outputs
 }
 
 Batcher::Batcher(ClockSource& clock, std::size_t num_inputs,
-                 std::size_t lane_capacity, std::chrono::microseconds max_wait,
-                 SealFn on_seal)
+                 std::size_t lane_capacity, std::size_t num_members,
+                 std::chrono::microseconds max_wait, SealFn on_seal)
     : clock_(clock),
       num_inputs_(num_inputs),
       lane_capacity_(lane_capacity),
+      num_members_(num_members),
       max_wait_(max_wait),
       on_seal_(std::move(on_seal)) {
   LBNN_CHECK(lane_capacity_ > 0, "batcher needs at least one lane");
+  LBNN_CHECK(num_members_ > 0, "batcher needs at least one assembly member");
   LBNN_CHECK(on_seal_ != nullptr, "batcher needs a seal sink");
+}
+
+Batch Batcher::finish(std::vector<Request>&& requests) const {
+  Batch sealed;
+  sealed.requests = std::move(requests);
+  sealed.member_slots.assign(num_members_, MemberSlot{});
+  return sealed;
 }
 
 std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
@@ -56,7 +65,7 @@ std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
   req.deadline = deadline;
   std::future<std::vector<bool>> fut = req.result.get_future();
 
-  Batch sealed;
+  std::vector<Request> full;
   bool opened = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -66,14 +75,14 @@ std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
     }
     open_.push_back(std::move(req));
     if (open_.size() >= lane_capacity_) {
-      sealed.requests.swap(open_);
+      full.swap(open_);
       opened = false;  // sealed inline; no deadline left to watch
     }
   }
   if (opened_batch != nullptr) *opened_batch = opened;
   // Seal outside the lock: on_seal_ feeds a queue that wakes workers, and a
   // worker must never contend with submitters on the batcher mutex.
-  if (!sealed.requests.empty()) on_seal_(std::move(sealed));
+  if (!full.empty()) on_seal_(finish(std::move(full)));
   return fut;
 }
 
@@ -89,23 +98,23 @@ std::optional<TimePoint> Batcher::deadline() const {
 }
 
 void Batcher::seal_if_expired(TimePoint now) {
-  Batch sealed;
+  std::vector<Request> expired;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (open_.empty() || now < open_deadline_) return;
-    sealed.requests.swap(open_);
+    expired.swap(open_);
   }
-  on_seal_(std::move(sealed));
+  on_seal_(finish(std::move(expired)));
 }
 
 void Batcher::flush() {
-  Batch sealed;
+  std::vector<Request> open;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (open_.empty()) return;
-    sealed.requests.swap(open_);
+    open.swap(open_);
   }
-  on_seal_(std::move(sealed));
+  on_seal_(finish(std::move(open)));
 }
 
 }  // namespace lbnn::runtime

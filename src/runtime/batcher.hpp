@@ -27,9 +27,22 @@ struct Request {
   bool expired = false;
 };
 
-/// A sealed batch, ready to run: 1 <= requests.size() <= lane capacity.
+/// Per-member execution slot of a sealed batch. The engine dispatches one
+/// work item per assembly member; the worker that runs member i fills slot i
+/// (disjoint indices, so no lock on the data plane — the batch's completion
+/// latch orders every slot write before finalize reads them for stats).
+struct MemberSlot {
+  bool ran = false;           ///< the member's simulator actually executed
+  bool stolen = false;        ///< executed by a worker other than the batch claimer
+  std::uint64_t service_us = 0;  ///< simulator (+ member hook) service time
+  std::int64_t done_at_us = 0;   ///< completion stamp; straggler gap = max - min
+};
+
+/// A sealed batch, ready to run: 1 <= requests.size() <= lane capacity, with
+/// one pre-sized execution slot per assembly member.
 struct Batch {
   std::vector<Request> requests;
+  std::vector<MemberSlot> member_slots;
 };
 
 /// Pack requests into the LPU's datapath words: request i becomes bit lane i
@@ -58,8 +71,11 @@ class Batcher {
  public:
   using SealFn = std::function<void(Batch&&)>;
 
+  /// `num_members` is the model's assembly width: every sealed batch carries
+  /// that many pre-initialized MemberSlots (1 for a single-LPU model).
   Batcher(ClockSource& clock, std::size_t num_inputs, std::size_t lane_capacity,
-          std::chrono::microseconds max_wait, SealFn on_seal);
+          std::size_t num_members, std::chrono::microseconds max_wait,
+          SealFn on_seal);
 
   /// Throws lbnn::Error when input_bits.size() != num_inputs. `deadline` is
   /// stamped onto the request for the engine's expiry handling (kNoDeadline =
@@ -85,11 +101,16 @@ class Batcher {
 
   std::size_t lane_capacity() const { return lane_capacity_; }
   std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_members() const { return num_members_; }
 
  private:
+  /// Stamp member slots onto a batch about to be handed to on_seal_.
+  Batch finish(std::vector<Request>&& requests) const;
+
   ClockSource& clock_;
   const std::size_t num_inputs_;
   const std::size_t lane_capacity_;
+  const std::size_t num_members_;
   const std::chrono::microseconds max_wait_;
   const SealFn on_seal_;
 

@@ -62,31 +62,34 @@ bool deadline_unmeetable(TimePoint deadline, TimePoint now,
   return now + std::chrono::microseconds(drain_us) > deadline;
 }
 
-/// One sealed batch in flight. Members write disjoint slots of `outputs`
-/// (their own po_indices), so no lock is needed on the data plane; the last
-/// member to finish (members_left) finalizes. Holds a shared_ptr to its
-/// model: an unloading model stays alive until its queued batches resolve.
+/// One sealed batch in flight. Its assembly members are claimed one at a
+/// time from `next_member` — by the worker that dequeued the batch and, when
+/// member stealing is on, by idle workers picking it off Impl::stealable.
+/// Members write disjoint slots of `outputs` (their own po_indices) and their
+/// own MemberSlot, so no lock is needed on the data plane; the last member to
+/// finish (members_left, the completion latch) finalizes. Holds a shared_ptr
+/// to its model: an unloading model stays alive until its queued batches
+/// resolve.
 struct Engine::BatchWork {
   std::shared_ptr<ModelState> model;
   std::vector<Request> requests;
+  std::vector<MemberSlot> slots;  ///< one per assembly member (from the batcher)
   std::vector<BitVec> inputs;   ///< packed PIs, width == requests.size()
   std::vector<BitVec> outputs;  ///< original PO order
+  std::uint64_t seq = 0;        ///< global enqueue order, for kGlobalFifo
+  /// Claim cursor: fetch_add hands out member indices exactly once; values
+  /// >= slots.size() mean "nothing left to claim" (overshoot is harmless).
+  std::atomic<std::size_t> next_member{0};
   std::atomic<std::size_t> members_left{0};
   std::atomic<bool> failed{false};
-  /// Exactly one dequeuing worker (the claimer) settles expired requests —
-  /// its writes to Request::expired are ordered before finalize by the
+  /// Exactly one member-claiming worker settles expired requests — its
+  /// writes to Request::expired are ordered before finalize by the
   /// members_left decrement chain.
   std::atomic<bool> expiry_claimed{false};
   /// Every request expired before dispatch: members skip the simulator run.
   std::atomic<bool> skip_run{false};
   std::mutex error_mu;
   std::string error;
-};
-
-struct Engine::WorkItem {
-  std::shared_ptr<BatchWork> work;
-  std::size_t member = 0;
-  std::uint64_t seq = 0;  ///< global enqueue order, for kGlobalFifo
 };
 
 /// A loaded model: the shared read-only compiled artifact(s), the model's
@@ -136,14 +139,17 @@ struct ModelState {
   std::size_t outstanding = 0;  ///< accepted, not yet answered
   std::atomic<bool> accepting{true};
 
-  // Scheduler plane — guarded by the engine's queue_mu.
-  std::deque<Engine::WorkItem> ready;
+  // Scheduler plane — guarded by the engine's queue_mu. `ready` holds whole
+  // sealed batches; members are claimed from each batch's atomic cursor.
+  std::deque<std::shared_ptr<Engine::BatchWork>> ready;
   std::uint64_t pass = 0;
   bool in_ready_list = false;
 
-  /// Mirror of ready.size(), maintained under queue_mu but readable without
-  /// it: the admission plane's drain estimate must not take the scheduler
-  /// lock on every submit.
+  /// Unclaimed member work items across this model's sealed batches —
+  /// incremented by members-per-batch at enqueue, decremented per member
+  /// claim (by claimer or stealer). Readable without the scheduler lock: the
+  /// admission plane's drain estimate must not take queue_mu on every
+  /// submit, and its unit must match the per-work-item service EWMA below.
   std::atomic<std::size_t> queued_items{0};
   /// EWMA of per-work-item simulator service time (us), fed by workers. 0
   /// until the first measurable (>= 1 us) sample — admission never sheds on a
@@ -179,21 +185,27 @@ struct Engine::Impl {
   /// erases — the registry finally shrinks.
   std::map<std::uint64_t, std::shared_ptr<ModelState>> registry;
   std::uint64_t next_model_id = 1;
-  /// v1 shim: ModelId -> handle, append-only so ids stay stable.
-  std::vector<ModelHandle> legacy;
 
   /// Scheduler: models with a non-empty ready deque. Workers pick the lowest
-  /// pass (weighted-fair) or the oldest front item (global FIFO).
+  /// pass (weighted-fair) or the oldest front batch (global FIFO).
   std::mutex queue_mu;
   std::condition_variable queue_cv;
   std::vector<ModelState*> ready_models;
-  std::uint64_t vtime = 0;  ///< pass of the most recently dispatched item
+  std::uint64_t vtime = 0;  ///< pass of the most recently dispatched batch
   std::uint64_t next_seq = 0;
   bool stopping = false;
-  /// Test instrumentation (see Engine::set_dispatch_hook). Guarded by
-  /// queue_mu; workers grab the shared_ptr during the pop critical section
-  /// and invoke outside all locks.
+  /// In-flight multi-member batches with unclaimed members, published by the
+  /// dequeuing worker so idle workers can steal work before sleeping.
+  /// Entries whose cursor is exhausted are pruned lazily during steal scans
+  /// (the shared_ptr keeps a finished batch's husk alive a little longer —
+  /// harmless). Guarded by queue_mu; the member claim itself is the atomic
+  /// cursor, so claimers never take this lock between members.
+  std::vector<std::shared_ptr<Engine::BatchWork>> stealable;
+  /// Test instrumentation (see Engine::set_dispatch_hook /
+  /// set_member_hook). Guarded by queue_mu; workers grab the shared_ptr
+  /// during the pop/steal critical section and invoke outside all locks.
   std::shared_ptr<const std::function<void(const std::string&)>> dispatch_hook;
+  std::shared_ptr<const Engine::MemberHook> member_hook;
 
   /// The timekeeper sleeps until the earliest open-batch deadline; submit
   /// bumps the epoch so a new (possibly earlier) deadline re-arms the wait.
@@ -272,7 +284,8 @@ ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
   state->last_used_us.store(to_us(clock_->now()));
   ModelState* raw = state.get();
   state->batcher = std::make_unique<Batcher>(
-      *clock_, state->num_inputs, lane_capacity, options_.batch_timeout,
+      *clock_, state->num_inputs, lane_capacity, state->members.size(),
+      options_.batch_timeout,
       [this, raw](Batch&& batch) { enqueue_batch(*raw, std::move(batch)); });
   {
     std::lock_guard<std::mutex> lk(impl_->models_mu);
@@ -373,13 +386,22 @@ TimePoint effective_deadline(const ModelState& m, TimePoint requested,
 }  // namespace
 
 /// Would admitting a request with this deadline be dead work, given the
-/// model's queued items (plus the batch the request would join) and its
-/// recent service rate?
+/// model's queued work and its recent service rate? Everything is counted in
+/// member work items — the unit of the service EWMA: `queued_items` is the
+/// unclaimed members of already-sealed batches (a queued 4-member batch is 4
+/// items, not 1), and the batch this request joins costs `members.size()`
+/// items once it seals. That last term also makes requests parked in the
+/// still-open lane visible: they share the same future batch, so its full
+/// member cost is charged whether the lane holds one request or fifteen —
+/// a model with a loaded open lane can no longer accept a deadline that the
+/// lane's own seal-and-run time already busts.
 static bool shed_check(const ModelState& m, TimePoint deadline, TimePoint now,
                        std::size_t workers) {
-  return deadline_unmeetable(
-      deadline, now, m.ewma_item_us.load(std::memory_order_relaxed),
-      m.queued_items.load(std::memory_order_relaxed) + 1, workers);
+  const std::size_t items_ahead =
+      m.queued_items.load(std::memory_order_relaxed) + m.members.size();
+  return deadline_unmeetable(deadline, now,
+                             m.ewma_item_us.load(std::memory_order_relaxed),
+                             items_ahead, workers);
 }
 
 std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
@@ -577,18 +599,20 @@ std::size_t Engine::evict_idle(std::chrono::steady_clock::duration min_idle) {
 void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
   std::shared_ptr<ModelState> self = model.self.lock();
   LBNN_CHECK(self != nullptr, "batcher outlived its model state");
+  LBNN_CHECK(batch.member_slots.size() == model.members.size(),
+             "sealed batch member slots do not match the assembly width");
   auto work = std::make_shared<BatchWork>();
   work->model = std::move(self);
   work->requests = std::move(batch.requests);
+  work->slots = std::move(batch.member_slots);
   work->inputs = pack_requests(work->requests, model.num_inputs);
   work->outputs.assign(model.num_outputs, BitVec(work->requests.size()));
-  work->members_left.store(model.members.size());
-  const std::size_t items = model.members.size();
+  work->members_left.store(work->slots.size());
+  const std::size_t items = work->slots.size();
   {
     std::lock_guard<std::mutex> lk(impl_->queue_mu);
-    for (std::size_t mbr = 0; mbr < items; ++mbr) {
-      model.ready.push_back({work, mbr, impl_->next_seq++});
-    }
+    work->seq = impl_->next_seq++;
+    model.ready.push_back(std::move(work));
     if (!model.in_ready_list) {
       // A model re-entering the ready set starts at the current virtual time,
       // not its stale pass — otherwise it would monopolize workers to "catch
@@ -597,134 +621,231 @@ void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
       impl_->ready_models.push_back(&model);
       model.in_ready_list = true;
     }
-    model.queued_items.store(model.ready.size(), std::memory_order_relaxed);
-    model.stats.on_queue_depth(model.ready.size());
+    const std::size_t depth =
+        model.queued_items.fetch_add(items, std::memory_order_relaxed) + items;
+    model.stats.on_queue_depth(depth);
   }
-  if (items == 1) {
-    impl_->queue_cv.notify_one();
-  } else {
-    impl_->queue_cv.notify_all();
-  }
+  // One batch is one scheduler pop: wake one worker. The popper re-notifies
+  // when it publishes a multi-member batch for stealing.
+  impl_->queue_cv.notify_one();
 }
 
-void Engine::worker_loop() {
+struct Engine::WorkerContext {
   // Each worker owns its simulators (keyed by the shared Program) — the
   // Program is read-only, all mutable run state lives in the simulator.
   std::unordered_map<const Program*, std::unique_ptr<LpuSimulator>> sims;
   std::size_t retired_seen = 0;  ///< position consumed in retired_programs
+};
+
+void Engine::prune_stealable_locked() {
+  auto& stealable = impl_->stealable;
+  for (std::size_t i = 0; i < stealable.size();) {
+    if (stealable[i]->next_member.load(std::memory_order_relaxed) >=
+        stealable[i]->slots.size()) {
+      stealable[i] = std::move(stealable.back());
+      stealable.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool Engine::try_steal_locked(std::shared_ptr<BatchWork>* work,
+                              std::size_t* member) {
+  auto& stealable = impl_->stealable;
+  for (std::size_t i = 0; i < stealable.size();) {
+    BatchWork& candidate = *stealable[i];
+    const std::size_t total = candidate.slots.size();
+    // The claim races the batch's own claimer (who holds no lock): fetch_add
+    // both reserves an index and detects exhaustion.
+    if (candidate.next_member.load(std::memory_order_relaxed) < total) {
+      const std::size_t claimed = candidate.next_member.fetch_add(1);
+      if (claimed < total) {
+        candidate.model->queued_items.fetch_sub(1, std::memory_order_relaxed);
+        *work = stealable[i];
+        *member = claimed;
+        return true;
+      }
+    }
+    // Exhausted husk: prune (swap-pop keeps the scan O(entries)).
+    stealable[i] = std::move(stealable.back());
+    stealable.pop_back();
+  }
+  return false;
+}
+
+void Engine::worker_loop() {
+  WorkerContext ctx;
   const bool fifo =
       options_.scheduling == EngineOptions::Scheduling::kGlobalFifo;
   for (;;) {
-    WorkItem item;
+    std::shared_ptr<BatchWork> work;
+    std::size_t stolen_member = 0;
+    bool stolen = false;
+    bool published = false;
     std::shared_ptr<const std::function<void(const std::string&)>> hook;
+    std::shared_ptr<const MemberHook> member_hook;
     {
       std::unique_lock<std::mutex> lk(impl_->queue_mu);
-      impl_->queue_cv.wait(lk, [this] {
-        return impl_->stopping || !impl_->ready_models.empty();
-      });
-      if (impl_->ready_models.empty()) return;  // stopping, all work done
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < impl_->ready_models.size(); ++i) {
-        const ModelState* a = impl_->ready_models[i];
-        const ModelState* b = impl_->ready_models[best];
-        const bool better = fifo ? a->ready.front().seq < b->ready.front().seq
-                                 : a->pass < b->pass;
-        if (better) best = i;
-      }
-      ModelState* m = impl_->ready_models[best];
-      item = std::move(m->ready.front());
-      m->ready.pop_front();
-      m->queued_items.store(m->ready.size(), std::memory_order_relaxed);
-      impl_->vtime = m->pass;
-      m->pass += m->stride;
-      if (m->ready.empty()) {
-        impl_->ready_models[best] = impl_->ready_models.back();
-        impl_->ready_models.pop_back();
-        m->in_ready_list = false;
-      }
-      hook = impl_->dispatch_hook;
-    }
-    if (hook) (*hook)(item.work->model->name);
-
-    // Drop simulators of unloaded models BEFORE the lookup below: a stale
-    // entry is a leak, and its key may alias a newly compiled Program.
-    if (impl_->retired_count.load() != retired_seen) {
-      std::lock_guard<std::mutex> lk(impl_->retired_mu);
-      for (; retired_seen < impl_->retired_programs.size(); ++retired_seen) {
-        sims.erase(impl_->retired_programs[retired_seen]);
-      }
-    }
-
-    BatchWork& work = *item.work;
-    // The first member dequeued anywhere settles requests that are already
-    // past their deadline: their futures fail NOW, with DeadlineExceeded, and
-    // a fully-expired batch skips the simulator entirely.
-    bool skip = false;
-    if (!work.expiry_claimed.exchange(true)) {
-      if (!drop_expired_requests(work)) work.skip_run.store(true);
-      skip = work.skip_run.load();
-    } else {
-      skip = work.skip_run.load();
-      // The claimer may still be mid-settlement on another worker; deadlines
-      // are immutable after sealing and time only moves forward, so each
-      // member can see "everything here is dead" for itself and skip too.
-      if (!skip) skip = batch_fully_expired(work);
-    }
-    const ModelState::Member& member = work.model->members[item.member];
-    if (!skip) {
-      try {
-        auto& sim = sims[member.program];
-        if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
-
-        const std::vector<BitVec>* in = &work.inputs;
-        std::vector<BitVec> gathered;
-        if (member.pi_indices != nullptr) {
-          gathered.reserve(member.pi_indices->size());
-          for (const std::uint32_t pi : *member.pi_indices) {
-            gathered.push_back(work.inputs[pi]);
+      for (;;) {
+        if (!impl_->ready_models.empty()) {
+          // Claim phase 1: a fresh batch from the scheduler. Sweep finished
+          // husks out of the stealable list first — under sustained load
+          // this pop path is the only one that runs, and the list must not
+          // grow with every batch served.
+          if (!impl_->stealable.empty()) prune_stealable_locked();
+          std::size_t best = 0;
+          for (std::size_t i = 1; i < impl_->ready_models.size(); ++i) {
+            const ModelState* a = impl_->ready_models[i];
+            const ModelState* b = impl_->ready_models[best];
+            const bool better = fifo
+                                    ? a->ready.front()->seq < b->ready.front()->seq
+                                    : a->pass < b->pass;
+            if (better) best = i;
           }
-          in = &gathered;
-        }
-
-        const TimePoint t0 = clock_->now();
-        std::vector<BitVec> out = sim->run(*in);
-        const auto service_us =
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                clock_->now() - t0)
-                .count();
-        stats_.on_sim_run(sim->counters());
-        // Feed the admission shedder's per-item service EWMA. Sub-microsecond
-        // samples are dropped rather than rounded up: under a ManualClock the
-        // simulator takes zero manual time, and learning a fake floor there
-        // would make deterministic tests shed nondeterministically.
-        if (service_us > 0) {
-          ModelState& model_state = *work.model;
-          const auto sample = static_cast<std::uint64_t>(service_us);
-          const std::uint64_t prev =
-              model_state.ewma_item_us.load(std::memory_order_relaxed);
-          model_state.ewma_item_us.store(
-              prev == 0 ? sample : (3 * prev + sample) / 4,
-              std::memory_order_relaxed);
-        }
-
-        if (member.po_indices != nullptr) {
-          for (std::size_t i = 0; i < out.size(); ++i) {
-            work.outputs[(*member.po_indices)[i]] = std::move(out[i]);
+          ModelState* m = impl_->ready_models[best];
+          work = std::move(m->ready.front());
+          m->ready.pop_front();
+          impl_->vtime = m->pass;
+          // One batch is slots.size() work items of this model's share.
+          m->pass += m->stride * work->slots.size();
+          if (m->ready.empty()) {
+            impl_->ready_models[best] = impl_->ready_models.back();
+            impl_->ready_models.pop_back();
+            m->in_ready_list = false;
           }
-        } else {
-          for (std::size_t i = 0; i < out.size(); ++i) {
-            work.outputs[i] = std::move(out[i]);
+          if (options_.member_stealing && work->slots.size() > 1) {
+            // Publish the batch so idle workers steal members we have not
+            // claimed yet; visible before any of them can miss a wakeup
+            // (the notify below happens after this critical section).
+            impl_->stealable.push_back(work);
+            published = true;
           }
+          hook = impl_->dispatch_hook;
+          member_hook = impl_->member_hook;
+          break;
         }
-      } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lk(work.error_mu);
-        work.failed.store(true);
-        if (work.error.empty()) work.error = e.what();
+        // Claim phase 2: steal a member from an in-flight batch rather than
+        // sleep while a sibling straggles.
+        if (options_.member_stealing &&
+            try_steal_locked(&work, &stolen_member)) {
+          stolen = true;
+          member_hook = impl_->member_hook;
+          break;
+        }
+        if (impl_->stopping) return;  // nothing queued, nothing stealable
+        impl_->queue_cv.wait(lk);
       }
     }
-
-    if (work.members_left.fetch_sub(1) == 1) finalize(work);
+    if (published) impl_->queue_cv.notify_all();
+    if (stolen) {
+      run_member(*work, stolen_member, /*stolen=*/true, ctx, member_hook);
+      continue;
+    }
+    if (hook) (*hook)(work->model->name);
+    // Cooperative claim loop: take members off the cursor until stealers (or
+    // we) exhaust it. Claiming one at a time means a steal can land between
+    // any two of our runs — the whole point.
+    for (;;) {
+      const std::size_t member = work->next_member.fetch_add(1);
+      if (member >= work->slots.size()) break;
+      work->model->queued_items.fetch_sub(1, std::memory_order_relaxed);
+      run_member(*work, member, /*stolen=*/false, ctx, member_hook);
+    }
   }
+}
+
+void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
+                        WorkerContext& ctx,
+                        const std::shared_ptr<const MemberHook>& hook) {
+  // Drop simulators of unloaded models BEFORE the lookup below: a stale
+  // entry is a leak, and its key may alias a newly compiled Program.
+  if (impl_->retired_count.load() != ctx.retired_seen) {
+    std::lock_guard<std::mutex> lk(impl_->retired_mu);
+    for (; ctx.retired_seen < impl_->retired_programs.size();
+         ++ctx.retired_seen) {
+      ctx.sims.erase(impl_->retired_programs[ctx.retired_seen]);
+    }
+  }
+
+  // The first member claimed anywhere settles requests that are already past
+  // their deadline: their futures fail NOW, with DeadlineExceeded, and a
+  // fully-expired batch skips the simulator entirely.
+  bool skip = false;
+  if (!work.expiry_claimed.exchange(true)) {
+    if (!drop_expired_requests(work)) work.skip_run.store(true);
+    skip = work.skip_run.load();
+  } else {
+    skip = work.skip_run.load();
+    // The settling worker may still be mid-settlement elsewhere; deadlines
+    // are immutable after sealing and time only moves forward, so each
+    // member can see "everything here is dead" for itself and skip too.
+    if (!skip) skip = batch_fully_expired(work);
+  }
+  const ModelState::Member& member = work.model->members[member_index];
+  MemberSlot& slot = work.slots[member_index];
+  if (!skip) {
+    try {
+      auto& sim = ctx.sims[member.program];
+      if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
+
+      const std::vector<BitVec>* in = &work.inputs;
+      std::vector<BitVec> gathered;
+      if (member.pi_indices != nullptr) {
+        gathered.reserve(member.pi_indices->size());
+        for (const std::uint32_t pi : *member.pi_indices) {
+          gathered.push_back(work.inputs[pi]);
+        }
+        in = &gathered;
+      }
+
+      const TimePoint t0 = clock_->now();
+      // The member hook is inside the timed region on purpose: benches use
+      // it to give one member an artificial straggler delay, and that delay
+      // must show up in the service EWMA and member percentiles.
+      if (hook) (*hook)(work.model->name, member_index);
+      std::vector<BitVec> out = sim->run(*in);
+      const auto service_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(clock_->now() -
+                                                                t0)
+              .count();
+      stats_.on_sim_run(sim->counters());
+      slot.ran = true;
+      slot.stolen = stolen;
+      slot.service_us =
+          service_us > 0 ? static_cast<std::uint64_t>(service_us) : 0;
+      // Feed the admission shedder's per-item service EWMA. Sub-microsecond
+      // samples are dropped rather than rounded up: under a ManualClock the
+      // simulator takes zero manual time, and learning a fake floor there
+      // would make deterministic tests shed nondeterministically.
+      if (service_us > 0) {
+        ModelState& model_state = *work.model;
+        const auto sample = static_cast<std::uint64_t>(service_us);
+        const std::uint64_t prev =
+            model_state.ewma_item_us.load(std::memory_order_relaxed);
+        model_state.ewma_item_us.store(
+            prev == 0 ? sample : (3 * prev + sample) / 4,
+            std::memory_order_relaxed);
+      }
+
+      if (member.po_indices != nullptr) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          work.outputs[(*member.po_indices)[i]] = std::move(out[i]);
+        }
+      } else {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          work.outputs[i] = std::move(out[i]);
+        }
+      }
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lk(work.error_mu);
+      work.failed.store(true);
+      if (work.error.empty()) work.error = e.what();
+    }
+  }
+  slot.done_at_us = to_us(clock_->now());
+
+  if (work.members_left.fetch_sub(1) == 1) finalize(work);
 }
 
 bool Engine::drop_expired_requests(BatchWork& work) {
@@ -736,12 +857,17 @@ bool Engine::drop_expired_requests(BatchWork& work) {
     if (req.deadline == kNoDeadline || now <= req.deadline) continue;
     req.expired = true;
     ++expired;
+  }
+  if (expired == 0) return true;
+  // Counters BEFORE the promises fail (the same rule finalize() follows): a
+  // client that wakes from get() with DeadlineExceeded and immediately calls
+  // report() must see its request in `expired`.
+  stats_.on_expired(expired);
+  work.model->stats.on_expired(expired);
+  for (auto& req : work.requests) {
+    if (!req.expired) continue;
     req.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
         "request expired in '" + work.model->name + "' queue before dispatch")));
-  }
-  if (expired != 0) {
-    stats_.on_expired(expired);
-    work.model->stats.on_expired(expired);
   }
   return expired != work.requests.size();
 }
@@ -765,6 +891,10 @@ void Engine::finalize(BatchWork& work) {
   }
   // Stats are recorded BEFORE any future resolves: a client that wakes from
   // .get() and immediately calls report() must see its request counted.
+  // Member slots are complete here — every runner's writes are ordered
+  // before this point by the members_left decrement chain.
+  stats_.on_members_done(work.slots);
+  m.stats.on_members_done(work.slots);
   if (work.failed.load()) {
     // The batch ran (and wasted its lanes) but produced no samples.
     stats_.on_batch(0, m.batcher->lane_capacity());
@@ -860,6 +990,16 @@ void Engine::set_dispatch_hook(std::function<void(const std::string&)> hook) {
   }
 }
 
+void Engine::set_member_hook(
+    std::function<void(const std::string&, std::size_t)> hook) {
+  std::lock_guard<std::mutex> lk(impl_->queue_mu);
+  if (hook) {
+    impl_->member_hook = std::make_shared<const MemberHook>(std::move(hook));
+  } else {
+    impl_->member_hook = nullptr;
+  }
+}
+
 ServeReport Engine::report() const {
   ServeReport r = stats_.report();
   for (const auto& m : model_snapshot()) {
@@ -917,42 +1057,6 @@ void Engine::shutdown() {
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
-}
-
-// ------------------------------------------------------------------ v1 shim
-
-ModelHandle Engine::legacy_at(ModelId model) const {
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  if (model >= impl_->legacy.size()) {
-    throw Error("unknown model id " + std::to_string(model));
-  }
-  return impl_->legacy[model];
-}
-
-ModelId Engine::load_model(const std::string& name, const Netlist& nl) {
-  ModelHandle handle = load(name, nl);
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  impl_->legacy.push_back(std::move(handle));
-  return static_cast<ModelId>(impl_->legacy.size() - 1);
-}
-
-ModelId Engine::load_model_parallel(const std::string& name, const Netlist& nl,
-                                    std::uint32_t parallel_lpus) {
-  ModelHandle handle = load_parallel(name, nl, parallel_lpus);
-  std::lock_guard<std::mutex> lk(impl_->models_mu);
-  impl_->legacy.push_back(std::move(handle));
-  return static_cast<ModelId>(impl_->legacy.size() - 1);
-}
-
-std::future<std::vector<bool>> Engine::submit(ModelId model,
-                                              std::vector<bool> inputs) {
-  return submit(legacy_at(model), std::move(inputs));
-}
-
-const std::string& Engine::model_name(ModelId model) const {
-  // The legacy table pins the state, so the reference stays valid even after
-  // a v2 unload of the same model.
-  return legacy_at(model).name();
 }
 
 }  // namespace lbnn::runtime

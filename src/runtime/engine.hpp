@@ -17,10 +17,6 @@
 
 namespace lbnn::runtime {
 
-/// Legacy (v1) model identifier — see the deprecated shim at the bottom of
-/// Engine. New code uses ModelHandle.
-using ModelId = std::uint32_t;
-
 /// Outcome of a non-blocking admission attempt.
 enum class SubmitStatus : std::uint8_t {
   kAccepted,            ///< request admitted; the future will resolve
@@ -110,6 +106,13 @@ struct EngineOptions {
     kGlobalFifo,
   };
   Scheduling scheduling = Scheduling::kWeightedFair;
+  /// Member-level work stealing: the worker that dequeues a batch claims its
+  /// assembly members one at a time from an atomic cursor, and idle workers
+  /// steal the remaining members before sleeping — a slow member no longer
+  /// serializes its siblings, and one wide batch can use every core. false
+  /// reverts to monolithic dispatch (the dequeuing worker runs every member
+  /// itself), kept as the baseline for bench/serve_stealing.
+  bool member_stealing = true;
   /// ModelOptions::queue_bound fallback when a load leaves it 0; 0 here means
   /// 4x the model's lane capacity (a few batches of headroom).
   std::size_t default_queue_bound = 0;
@@ -130,7 +133,10 @@ struct EngineOptions {
 /// the next queue by weighted-fair (stride) scheduling — so a backlogged
 /// heavy model cannot starve light ones, and each model's admission bound
 /// exerts backpressure on its own clients only. For multi-LPU models every
-/// assembly member is an independently dispatchable work item.
+/// assembly member is an independently claimable work item: the dequeuing
+/// worker claims members from the batch's atomic cursor while idle workers
+/// steal the rest (EngineOptions::member_stealing), so one straggling member
+/// cannot serialize its batch.
 ///
 /// Lifecycle: load() / load_parallel() / load_async() return ref-counted
 /// ModelHandles; unload() (or evict_idle()) drains a model's outstanding
@@ -217,32 +223,31 @@ class Engine {
   ClockSource& clock() const { return *clock_; }
 
   /// Test instrumentation, mirroring ProgramCache::set_compile_hook: called
-  /// by a worker with the model's name right after it dequeues a work item
-  /// (no engine lock held — a blocking hook stalls that worker, nothing
-  /// else). With one worker the call order IS the dispatch order, which makes
-  /// the stride scheduler's drain order directly assertable. nullptr clears.
+  /// by a worker with the model's name right after it dequeues a batch from
+  /// the scheduler (no engine lock held — a blocking hook stalls that worker,
+  /// nothing else; member steals do NOT fire it, so a gated claimer's batch
+  /// can still be finished by stealers). With one worker the call order IS
+  /// the dispatch order, which makes the stride scheduler's drain order
+  /// directly assertable. nullptr clears.
   void set_dispatch_hook(std::function<void(const std::string&)> hook);
 
-  // ----------------------------------------------------------------- v1 shim
-  // Deprecated PR 1 API: flat grow-only ModelId registry. Each shim call maps
-  // onto the handle API (ids index an internal handle table that unload()
-  // does NOT shrink, preserving id stability). See README for migration.
-  [[deprecated("use load() and ModelHandle")]] ModelId load_model(
-      const std::string& name, const Netlist& nl);
-  [[deprecated("use load_parallel() and ModelHandle")]] ModelId
-  load_model_parallel(const std::string& name, const Netlist& nl,
-                      std::uint32_t parallel_lpus);
-  [[deprecated("use submit(ModelHandle, ...)")]] std::future<std::vector<bool>>
-  submit(ModelId model, std::vector<bool> inputs);
-  [[deprecated("use ModelHandle::name()")]] const std::string& model_name(
-      ModelId model) const;
+  /// Called with (model name, member index) right before a claimed member's
+  /// simulator run, by whichever worker runs it (claimer or stealer), no
+  /// locks held. The time a hook spends is charged to the member's service
+  /// time, so benches inject per-member straggler delays with it and
+  /// ManualClock tests teach the admission EWMA deterministically by
+  /// advancing the clock inside it. nullptr clears.
+  void set_member_hook(std::function<void(const std::string&, std::size_t)> hook);
 
  private:
-  friend struct ModelState;  // embeds a deque of WorkItems
+  friend struct ModelState;  // embeds a deque of ready batches
 
   struct BatchWork;
-  struct WorkItem;
   struct Impl;
+  /// Worker-thread-local execution state: the simulator cache (keyed by the
+  /// shared read-only Program) and its pruning position in the retired list.
+  struct WorkerContext;
+  using MemberHook = std::function<void(const std::string&, std::size_t)>;
 
   void worker_loop();
   void timer_loop();
@@ -250,11 +255,26 @@ class Engine {
                              std::size_t lane_capacity,
                              const ModelOptions& mopt);
   ModelState* state_of(const ModelHandle& handle) const;
-  ModelHandle legacy_at(ModelId model) const;
   std::future<std::vector<bool>> dispatch_admitted(ModelState* m,
                                                    std::vector<bool>&& inputs,
                                                    TimePoint deadline);
-  /// Fail already-expired requests of a just-dequeued batch (first member
+  /// Execute one claimed member of a batch: expired-request settling (first
+  /// claimant), simulator run, slot/EWMA/stats accounting, and the completion
+  /// latch (the last member to finish finalizes the batch).
+  void run_member(BatchWork& work, std::size_t member, bool stolen,
+                  WorkerContext& ctx,
+                  const std::shared_ptr<const MemberHook>& hook);
+  /// Claim one unclaimed member from an in-flight batch, pruning exhausted
+  /// entries. Called with queue_mu held; returns false when nothing is
+  /// stealable.
+  bool try_steal_locked(std::shared_ptr<BatchWork>* work, std::size_t* member);
+  /// Drop exhausted batch husks from the stealable list. Called with
+  /// queue_mu held on every scheduler pop — under sustained load workers
+  /// never reach the steal phase, and without this sweep every finished
+  /// multi-member batch would stay pinned (requests, packed lanes, and its
+  /// model's state) for the whole busy period.
+  void prune_stealable_locked();
+  /// Fail already-expired requests of a just-claimed batch (first member
   /// only); returns whether any live request remains to simulate.
   bool drop_expired_requests(BatchWork& work);
   /// Read-only check (deadlines are immutable after sealing): is every

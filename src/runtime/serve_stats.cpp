@@ -60,6 +60,20 @@ void ModelStats::on_expired(std::size_t n) {
   expired_ += n;
 }
 
+void ModelStats::on_members_done(const std::vector<MemberSlot>& slots) {
+  std::uint64_t ran = 0;
+  std::uint64_t stolen = 0;
+  for (const MemberSlot& slot : slots) {
+    if (!slot.ran) continue;
+    ++ran;
+    if (slot.stolen) ++stolen;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  member_runs_ += ran;
+  steals_ += stolen;
+}
+
 ModelReport ModelStats::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   ModelReport r;
@@ -76,6 +90,8 @@ ModelReport ModelStats::report() const {
   r.shed = shed_;
   r.expired = expired_;
   r.deadline_met = deadline_met_;
+  r.member_runs = member_runs_;
+  r.steals = steals_;
   return r;
 }
 
@@ -123,6 +139,32 @@ void ServeStats::on_expired(std::size_t n) {
   expired_ += n;
 }
 
+void ServeStats::on_members_done(const std::vector<MemberSlot>& slots) {
+  // Derive everything outside the lock; the slots are immutable here (every
+  // writer's store is ordered before finalize by the completion latch).
+  std::uint64_t ran = 0;
+  std::uint64_t stolen = 0;
+  std::int64_t first_done = 0;
+  std::int64_t last_done = 0;
+  for (const MemberSlot& slot : slots) {
+    if (!slot.ran) continue;
+    if (ran == 0 || slot.done_at_us < first_done) first_done = slot.done_at_us;
+    if (ran == 0 || slot.done_at_us > last_done) last_done = slot.done_at_us;
+    ++ran;
+    if (slot.stolen) ++stolen;
+  }
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const MemberSlot& slot : slots) {
+    if (slot.ran) member_hist_.record(slot.service_us);
+  }
+  member_runs_ += ran;
+  steals_ += stolen;
+  if (ran > 1) {
+    straggler_hist_.record(static_cast<std::uint64_t>(last_done - first_done));
+  }
+}
+
 ServeReport ServeStats::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   ServeReport r;
@@ -143,6 +185,12 @@ ServeReport ServeStats::report() const {
   r.deadline_met = deadline_met_;
   r.goodput_per_sec =
       r.wall_seconds > 0.0 ? static_cast<double>(deadline_met_) / r.wall_seconds : 0.0;
+  r.member_runs = member_runs_;
+  r.steals = steals_;
+  r.member_p50_us = member_hist_.percentile_us(50.0);
+  r.member_p99_us = member_hist_.percentile_us(99.0);
+  r.straggler_gap_p50_us = straggler_hist_.percentile_us(50.0);
+  r.straggler_gap_p99_us = straggler_hist_.percentile_us(99.0);
   r.sim = sim_;
   r.sim.lpe_utilization =
       sim_.wavefronts == 0 ? 0.0 : util_weight_ / static_cast<double>(sim_.wavefronts);
@@ -152,8 +200,11 @@ ServeReport ServeStats::report() const {
 void ServeStats::reset() {
   std::lock_guard<std::mutex> lk(mu_);
   hist_ = LatencyHistogram{};
+  member_hist_ = LatencyHistogram{};
+  straggler_hist_ = LatencyHistogram{};
   requests_ = batches_ = samples_ = lanes_offered_ = 0;
   shed_ = expired_ = deadline_met_ = 0;
+  member_runs_ = steals_ = 0;
   sim_ = SimCounters{};
   util_weight_ = 0.0;
   start_ = clock_->now();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lpu/simulator.hpp"
+#include "runtime/batcher.hpp"
 #include "runtime/clock.hpp"
 
 namespace lbnn::runtime {
@@ -58,6 +59,12 @@ struct ModelReport {
   std::uint64_t deadline_met = 0;
   /// deadline_met / wall-clock seconds — filled by Engine::report().
   double goodput_per_sec = 0.0;
+  /// Member work items this model's batches executed (>= batches; one per
+  /// assembly member per batch that ran).
+  std::uint64_t member_runs = 0;
+  /// Member work items executed by a worker that did NOT dequeue the batch —
+  /// idle-worker stealing hiding a straggler member.
+  std::uint64_t steals = 0;
 };
 
 /// Snapshot of a ServeStats aggregation (all values since construction or the
@@ -82,6 +89,17 @@ struct ServeReport {
   /// On-deadline completions per second — the number that must not degrade
   /// when admission shedding turns on (see bench/serve_overload).
   double goodput_per_sec = 0.0;
+  /// Member-level execution counters (see bench/serve_stealing): work items
+  /// run, how many ran on a worker other than their batch's claimer, the
+  /// per-member service-time percentiles, and the batch straggler gap — the
+  /// time between a batch's first and last member completing (only batches
+  /// with >= 2 executed members record a gap; stealing exists to shrink it).
+  std::uint64_t member_runs = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t member_p50_us = 0;
+  std::uint64_t member_p99_us = 0;
+  std::uint64_t straggler_gap_p50_us = 0;
+  std::uint64_t straggler_gap_p99_us = 0;
   /// Simulator counters summed over every member run. lpe_utilization is the
   /// wavefront-weighted mean of the per-run utilizations.
   SimCounters sim;
@@ -100,10 +118,13 @@ class ModelStats {
   void on_requests_done(const std::vector<std::uint64_t>& latencies_us,
                         std::uint64_t deadline_met);
   void on_batch(std::size_t samples, std::size_t lane_capacity);
-  /// Ready-queue depth observed after an enqueue; keeps the high-water mark.
+  /// Ready-queue depth (in member work items) observed after an enqueue;
+  /// keeps the high-water mark.
   void on_queue_depth(std::size_t depth);
   void on_shed();
   void on_expired(std::size_t n);
+  /// A finalized batch's member slots: counts executed members and steals.
+  void on_members_done(const std::vector<MemberSlot>& slots);
 
   ModelReport report() const;
 
@@ -118,6 +139,8 @@ class ModelStats {
   std::uint64_t shed_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t deadline_met_ = 0;
+  std::uint64_t member_runs_ = 0;
+  std::uint64_t steals_ = 0;
 };
 
 /// Thread-safe serving metrics: request latencies (for p50/p99), batch lane
@@ -142,6 +165,11 @@ class ServeStats {
   void on_sim_run(const SimCounters& c);
   void on_shed();
   void on_expired(std::size_t n);
+  /// A finalized batch's member slots, recorded in one lock acquisition:
+  /// member service-time percentiles, steal counts, and — for batches where
+  /// at least two members executed — the straggler gap between the first and
+  /// the last member to finish.
+  void on_members_done(const std::vector<MemberSlot>& slots);
 
   ServeReport report() const;
   void reset();
@@ -150,6 +178,8 @@ class ServeStats {
   mutable std::mutex mu_;
   ClockSource* clock_;
   LatencyHistogram hist_;
+  LatencyHistogram member_hist_;
+  LatencyHistogram straggler_hist_;
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t samples_ = 0;
@@ -157,6 +187,8 @@ class ServeStats {
   std::uint64_t shed_ = 0;
   std::uint64_t expired_ = 0;
   std::uint64_t deadline_met_ = 0;
+  std::uint64_t member_runs_ = 0;
+  std::uint64_t steals_ = 0;
   SimCounters sim_;
   /// Sum of (lpe_utilization * wavefronts) per run; report() divides by the
   /// summed wavefronts to recover the weighted mean.

@@ -1,7 +1,9 @@
 // Randomized admission/lifecycle property test: a seeded interleaving of
-// submit / try_submit / unload / evict_idle / drain across 4 models drives
-// the engine through its whole admission surface, then asserts the three
-// properties the serving API promises:
+// submit / try_submit / unload / evict_idle / drain across 4 models — one of
+// them a 3-member parallel assembly, so batches are multi-member work and
+// member claiming/stealing runs under churn — drives the engine through its
+// whole admission surface, then asserts the three properties the serving API
+// promises:
 //
 //   1. every accepted future resolves exactly once — to a value or an error,
 //      never hanging, never left unresolved;
@@ -34,6 +36,11 @@ namespace lbnn::runtime {
 namespace {
 
 constexpr int kModels = 4;
+/// Model index served as a multi-member parallel LPU assembly: its batches
+/// are 3 cooperative member work items each, so the fuzz exercises the
+/// member cursor, idle-worker stealing, and member-granular accounting.
+constexpr int kParallelModel = 3;
+constexpr std::uint32_t kParallelMembers = 3;
 
 CompileOptions small_lpu() {
   CompileOptions opt;
@@ -67,12 +74,24 @@ void run_fuzz_round(std::uint64_t seed, int num_ops) {
   Rng circuits(900 + seed);
   std::vector<Netlist> nls;
   for (int i = 0; i < kModels; ++i) {
-    nls.push_back(reconvergent_grid(8, 4 + i, circuits));
+    if (i == kParallelModel) {
+      // Enough POs to split across kParallelMembers assembly members.
+      RandomCircuitSpec spec;
+      spec.num_inputs = 10;
+      spec.num_gates = 80;
+      spec.num_outputs = 6;
+      nls.push_back(random_dag(spec, circuits));
+    } else {
+      nls.push_back(reconvergent_grid(8, 4 + i, circuits));
+    }
   }
   const CompileOptions copt = small_lpu();
   // Direct simulators over the identical compiled artifact (the program
   // cache fingerprints netlist + options, so these are the same programs the
-  // engine's workers execute).
+  // engine's workers execute). The parallel model's oracle is the single-LPU
+  // compile of the same netlist: a member-partitioned assembly must reproduce
+  // the whole netlist's outputs bit-exactly however its members are claimed
+  // or stolen.
   std::vector<CompileResult> compiled;
   std::vector<LpuSimulator> sims;
   compiled.reserve(kModels);
@@ -93,9 +112,11 @@ void run_fuzz_round(std::uint64_t seed, int num_ops) {
     ModelOptions mopt;
     mopt.queue_bound = 48;
     mopt.weight = static_cast<std::uint32_t>(1 + i);
-    handles[i] = engine.load(
-        "m" + std::to_string(i) + "-g" + std::to_string(++generation[i]),
-        nls[i], mopt);
+    const std::string name =
+        "m" + std::to_string(i) + "-g" + std::to_string(++generation[i]);
+    handles[i] = i == kParallelModel
+                     ? engine.load_parallel(name, nls[i], kParallelMembers, mopt)
+                     : engine.load(name, nls[i], mopt);
   };
   for (int i = 0; i < kModels; ++i) ensure_loaded(i);
 
@@ -186,6 +207,14 @@ void run_fuzz_round(std::uint64_t seed, int num_ops) {
   // Every completed lane is a completed request: batch sample accounting
   // agrees with the request ledger.
   EXPECT_EQ(rep.samples, accepted);
+  // Member-granular execution closes too: every batch ran every one of its
+  // assembly members exactly once (a steal is an executed member, never an
+  // extra one), so the global member ledger is bounded by batches x widest
+  // assembly and at least one member per batch.
+  EXPECT_GE(rep.member_runs, rep.batches);
+  EXPECT_LE(rep.member_runs,
+            rep.batches * static_cast<std::uint64_t>(kParallelMembers));
+  EXPECT_LE(rep.steals, rep.member_runs);
   (void)rejected;
 }
 

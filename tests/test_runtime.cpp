@@ -190,30 +190,10 @@ TEST(Engine, HandlesAreEngineSpecific) {
   EXPECT_THROW(b.try_submit(on_a, std::vector<bool>(nl.num_inputs()), &fut), Error);
 }
 
-// PR 1 compatibility: the deprecated flat-ModelId entry points still serve.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Engine, LegacyModelIdShim) {
-  Rng gen(53);
-  const Netlist nl = reconvergent_grid(8, 4, gen);
-  EngineOptions eopt;
-  eopt.num_workers = 1;
-  eopt.compile = small_lpu();
-  Engine engine(eopt);
-  const ModelId id = engine.load_model("grid", nl);
-  EXPECT_EQ(engine.model_name(id), "grid");
-  std::vector<bool> bits(nl.num_inputs(), true);
-  const auto expect = simulate_scalar(nl, bits);
-  EXPECT_EQ(engine.submit(id, bits).get(), expect);
-  EXPECT_THROW(engine.submit(id + 1, bits), Error);
-  EXPECT_THROW(engine.model_name(id + 1), Error);
-}
-#pragma GCC diagnostic pop
-
 TEST(Batcher, SealsWhenLanesFill) {
   ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(clock, 2, 4, std::chrono::hours(1),
+  Batcher batcher(clock, 2, 4, 1, std::chrono::hours(1),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   std::vector<std::future<std::vector<bool>>> futs;
   for (int i = 0; i < 9; ++i) futs.push_back(batcher.submit({true, false}));
@@ -233,7 +213,7 @@ TEST(Batcher, SealsWhenLanesFill) {
 TEST(Batcher, SealsOnTimeoutManualClock) {
   ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(clock, 1, 8, std::chrono::microseconds(500),
+  Batcher batcher(clock, 1, 8, 1, std::chrono::microseconds(500),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   auto fut = batcher.submit({true});
   const auto deadline = batcher.deadline();
@@ -262,7 +242,7 @@ TEST(Batcher, SealsOnTimeoutManualClock) {
 TEST(Batcher, SealOnLaneFullRacesTimeout) {
   ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(clock, 1, 2, std::chrono::microseconds(100),
+  Batcher batcher(clock, 1, 2, 1, std::chrono::microseconds(100),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   auto f1 = batcher.submit({true});
   // Time reaches the deadline exactly as the filling request arrives...
@@ -280,7 +260,7 @@ TEST(Batcher, SealOnLaneFullRacesTimeout) {
 TEST(Batcher, ZeroTimeoutSealsImmediately) {
   ManualClock clock;
   std::vector<std::size_t> batch_sizes;
-  Batcher batcher(clock, 1, 8, std::chrono::microseconds(0),
+  Batcher batcher(clock, 1, 8, 1, std::chrono::microseconds(0),
                   [&](Batch&& b) { batch_sizes.push_back(b.requests.size()); });
   bool opened = false;
   auto f1 = batcher.submit({true}, kNoDeadline, &opened);
@@ -299,7 +279,7 @@ TEST(Batcher, ZeroTimeoutSealsImmediately) {
 TEST(Batcher, StampsRequestDeadlines) {
   ManualClock clock;
   std::vector<Request> sealed;
-  Batcher batcher(clock, 1, 2, std::chrono::hours(1), [&](Batch&& b) {
+  Batcher batcher(clock, 1, 2, 1, std::chrono::hours(1), [&](Batch&& b) {
     for (auto& r : b.requests) sealed.push_back(std::move(r));
   });
   const TimePoint slo = clock.now() + std::chrono::milliseconds(5);
@@ -313,7 +293,7 @@ TEST(Batcher, StampsRequestDeadlines) {
 
 TEST(Batcher, RejectsWrongArity) {
   ManualClock clock;
-  Batcher batcher(clock, 3, 4, std::chrono::hours(1), [](Batch&&) {});
+  Batcher batcher(clock, 3, 4, 1, std::chrono::hours(1), [](Batch&&) {});
   EXPECT_THROW(batcher.submit({true, false}), Error);
 }
 

@@ -695,6 +695,194 @@ TEST(AdmissionV2, DefaultDeadlineAppliesToPlainSubmits) {
   engine.set_dispatch_hook(nullptr);
 }
 
+RandomCircuitSpec wide_dag_spec() {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 10;
+  spec.num_gates = 80;
+  spec.num_outputs = 6;
+  return spec;  // 6 POs: supports up to 6 parallel assembly members
+}
+
+// Member-level work stealing: one worker dequeues the batch and parks in the
+// dispatch hook (which fires on scheduler pops only, never on steals); the
+// other — idle, nothing queued — steals BOTH members off the batch's cursor
+// and completes it. Every future resolves while the claimer is still pinned,
+// which is exactly the straggler-hiding property the stealing exists for.
+TEST(StealingV2, IdleWorkersStealMembersFromInFlightBatch) {
+  ManualClock clock;
+  DispatchGate gate;  // declared before the engine: workers may touch it late
+  Rng gen(130);
+  const Netlist nl = random_dag(wide_dag_spec(), gen);
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::hours(1);  // only lane-full seals
+  eopt.clock = &clock;
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 64;
+  const ModelHandle dag = engine.load_parallel("dag", nl, 2, mopt);
+
+  engine.set_dispatch_hook([&](const std::string&) { gate.wait_if_armed(); });
+
+  const std::size_t lanes = 16;  // m = 8 -> word width 16
+  const std::vector<bool> bits(nl.num_inputs(), true);
+  const auto expect = simulate_scalar(nl, bits);
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    futs.push_back(engine.submit(dag, bits));  // 16th submit seals inline
+  }
+  // Whichever worker popped the batch is pinned in the hook; the other one
+  // must finish the whole batch by stealing. get() hanging here = no steal.
+  for (auto& f : futs) EXPECT_EQ(f.get(), expect);
+
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.batches, 1u);
+  EXPECT_EQ(rep.requests, lanes);
+  EXPECT_EQ(rep.member_runs, 2u);
+  EXPECT_EQ(rep.steals, 2u);  // both members ran on the non-claimer
+  ASSERT_EQ(rep.per_model.size(), 1u);
+  EXPECT_EQ(rep.per_model[0].member_runs, 2u);
+  EXPECT_EQ(rep.per_model[0].steals, 2u);
+
+  gate.release();
+  engine.drain();
+  engine.set_dispatch_hook(nullptr);
+}
+
+// EngineOptions::member_stealing = false is the monolithic baseline: the
+// dequeuing worker runs every member itself and nothing is ever stolen.
+TEST(StealingV2, MonolithicDispatchRunsAllMembersOnClaimer) {
+  Rng gen(131);
+  const Netlist nl = random_dag(wide_dag_spec(), gen);
+  EngineOptions eopt = small_engine(2);
+  eopt.batch_timeout = std::chrono::microseconds(50);
+  eopt.member_stealing = false;
+  Engine engine(eopt);
+  const ModelHandle dag = engine.load_parallel("dag", nl, 3);
+
+  const std::vector<bool> bits(nl.num_inputs(), false);
+  const auto expect = simulate_scalar(nl, bits);
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 40; ++i) futs.push_back(engine.submit(dag, bits));
+  engine.drain();
+  for (auto& f : futs) EXPECT_EQ(f.get(), expect);
+
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.steals, 0u);
+  EXPECT_EQ(rep.member_runs, 3u * rep.batches);
+}
+
+// Member-granularity accounting under partial expiry: a 4-member batch whose
+// requests partially expire mid-flight must close its books — accepted ==
+// completed + expired, every future resolves exactly once (values for the
+// live half, DeadlineExceeded for the expired half), and exactly 4 member
+// work items ran for the one batch. All timing is ManualClock-driven.
+TEST(StealingV2, MemberAccountingClosesOnPartialExpiry) {
+  ManualClock clock;
+  DispatchGate gate;
+  Rng gen(132);
+  const Netlist nl = random_dag(wide_dag_spec(), gen);
+  EngineOptions eopt = small_engine(1);
+  eopt.batch_timeout = std::chrono::hours(1);
+  eopt.clock = &clock;
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 64;
+  const ModelHandle dag = engine.load_parallel("dag", nl, 4, mopt);
+
+  engine.set_dispatch_hook([&](const std::string&) { gate.wait_if_armed(); });
+
+  const std::size_t lanes = 16;
+  const std::vector<bool> bits(nl.num_inputs(), true);
+  const auto expect = simulate_scalar(nl, bits);
+  const TimePoint slo = clock.now() + std::chrono::milliseconds(1);
+  std::vector<std::future<std::vector<bool>>> doomed, live;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    if (i < 2) {
+      doomed.push_back(engine.submit(dag, bits, slo));
+    } else {
+      live.push_back(engine.submit(dag, bits));
+    }
+  }
+  // The single worker has popped the sealed batch and parked in the hook;
+  // time overtakes the two deadlines while all 4 members are still pending.
+  clock.advance(std::chrono::milliseconds(2));
+  gate.release();
+
+  for (auto& f : live) EXPECT_EQ(f.get(), expect);
+  for (auto& f : doomed) EXPECT_THROW(f.get(), DeadlineExceeded);
+
+  const ServeReport rep = engine.report();
+  const std::uint64_t accepted = lanes;
+  EXPECT_EQ(rep.requests + rep.shed + rep.expired, accepted);  // books close
+  EXPECT_EQ(rep.requests, accepted - 2);
+  EXPECT_EQ(rep.expired, 2u);
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.batches, 1u);
+  EXPECT_EQ(rep.samples, accepted - 2);  // only live lanes count as samples
+  EXPECT_EQ(rep.member_runs, 4u);        // the batch still ran all 4 members
+  ASSERT_EQ(rep.per_model.size(), 1u);
+  EXPECT_EQ(rep.per_model[0].expired, 2u);
+  EXPECT_EQ(rep.per_model[0].member_runs, 4u);
+
+  engine.set_dispatch_hook(nullptr);
+}
+
+// The admission estimate speaks member work items: requests parked in the
+// still-open (unsealed) lane cost a full batch of members once they seal, so
+// a deadline that the open lane's own service time already busts is shed at
+// admission. The EWMA is taught deterministically through the member hook,
+// which advances the ManualClock by exactly 1 ms per member run.
+TEST(AdmissionV2, OpenBatchCountsTowardDrainEstimate) {
+  ManualClock clock;
+  Rng gen(133);
+  const Netlist nl = random_dag(wide_dag_spec(), gen);
+  EngineOptions eopt = small_engine(1);
+  eopt.batch_timeout = std::chrono::hours(1);
+  eopt.clock = &clock;
+  Engine engine(eopt);
+  const ModelHandle dag = engine.load_parallel("dag", nl, 4);
+
+  engine.set_member_hook([&](const std::string&, std::size_t) {
+    clock.advance(std::chrono::milliseconds(1));
+  });
+
+  const std::vector<bool> bits(nl.num_inputs(), true);
+  // Teach the EWMA: one warm-up batch, 4 member runs of exactly 1000 us.
+  auto warmup = engine.submit(dag, bits);
+  engine.drain();
+  EXPECT_EQ(warmup.get(), simulate_scalar(nl, bits));
+  EXPECT_EQ(engine.report().member_runs, 4u);
+
+  // Park one deadline-less request in the open lane. Nothing is sealed, so
+  // the old batch-count estimate would see zero queued work — but that lane
+  // costs 4 member runs (4000 us) the moment it seals.
+  auto parked = engine.submit(dag, bits);
+  std::future<std::vector<bool>> shed_fut;
+  EXPECT_EQ(engine.try_submit(dag, bits, &shed_fut,
+                              clock.now() + std::chrono::microseconds(3500)),
+            SubmitStatus::kDeadlineUnmeetable);
+  EXPECT_FALSE(shed_fut.valid());
+  // A deadline with room for the full 4-member drain admits (4000 us is the
+  // exact best-case boundary — the estimate is deliberately optimistic).
+  std::future<std::vector<bool>> ok_fut;
+  EXPECT_EQ(engine.try_submit(dag, bits, &ok_fut,
+                              clock.now() + std::chrono::microseconds(4000)),
+            SubmitStatus::kAccepted);
+
+  engine.drain();  // seals the 2-request batch; 4 members, 4 ms of service
+  EXPECT_EQ(parked.get(), simulate_scalar(nl, bits));
+  EXPECT_EQ(ok_fut.get(), simulate_scalar(nl, bits));
+
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.shed, 1u);
+  EXPECT_EQ(rep.expired, 0u);
+  EXPECT_EQ(rep.requests, 3u);
+  EXPECT_EQ(rep.deadline_met, 3u);  // the 4000 us deadline was met exactly
+  EXPECT_EQ(rep.member_runs, 8u);
+
+  engine.set_member_hook(nullptr);
+}
+
 // Deterministic stride-scheduler drain order: one worker, ManualClock (so
 // nothing seals or reorders on real time), three models with weights 3:1:1
 // and standing backlogs. The dispatch hook records the exact dequeue order;
