@@ -78,14 +78,19 @@ ModeResult run_mode(bool stealing, const Netlist& nl, int rounds,
   eopt.compile.lpu.m = 8;  // 16-lane words
   eopt.compile.lpu.n = 8;
   eopt.member_stealing = stealing;
+  // This bench isolates stealing; speculative duplicates of the slow member
+  // would only burn sleeping workers here (the hook slows member 0 for every
+  // executor). bench/serve_hedging measures hedging on its own.
+  eopt.hedging = false;
   Engine engine(eopt);
   const ModelHandle h = engine.load_parallel("straggler", nl, kMembers);
   // The artificial straggler: member 0 is slow_factor x slower than its
   // siblings. Charged inside the timed region, so it lands in the service
   // EWMA and the member/straggler-gap percentiles like real compute would.
-  engine.set_member_hook([base, slow](const std::string&, std::size_t member) {
-    std::this_thread::sleep_for(member == 0 ? slow : base);
-  });
+  engine.set_member_hook(
+      [base, slow](const std::string&, std::size_t member, bool) {
+        std::this_thread::sleep_for(member == 0 ? slow : base);
+      });
 
   const std::size_t lanes = 16;
   constexpr int kWarmup = 8;  // simulator construction, worker wake-up

@@ -144,6 +144,9 @@ int main() {
   std::cout << "member work items " << rep.member_runs << " (" << rep.steals
             << " stolen by idle workers), straggler gap p99 <= "
             << rep.straggler_gap_p99_us << " us\n";
+  std::cout << "hedges " << rep.hedges_launched << " launched, "
+            << rep.hedge_wins << " won, " << rep.hedge_wasted_us
+            << " us discarded\n";
   std::cout << "simulated " << rep.sim.clock_cycles << " LPU clock cycles, "
             << rep.sim.lpe_computes << " LPE computes\n";
 

@@ -21,7 +21,8 @@ LpuSimulator::LpuSimulator(const Program& program) : prog_(program) {
   prog_.validate();
 }
 
-std::vector<BitVec> LpuSimulator::run(const std::vector<BitVec>& inputs) {
+std::vector<BitVec> LpuSimulator::run(const std::vector<BitVec>& inputs,
+                                      const std::atomic<bool>* cancel) {
   const LpuConfig& cfg = prog_.cfg;
   const std::uint32_t n = cfg.n;
   const std::uint32_t m = cfg.m;
@@ -68,6 +69,10 @@ std::vector<BitVec> LpuSimulator::run(const std::vector<BitVec>& inputs) {
   std::vector<char> cur_valid(m, 0);
 
   for (std::uint32_t w = 0; w < prog_.num_wavefronts; ++w) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      throw SimCancelled("simulator run cancelled at wavefront " +
+                         std::to_string(w));
+    }
     std::fill(prev_valid.begin(), prev_valid.end(), 0);
     for (std::uint32_t j = 0; j < n; ++j) {
       const LpvInstr& instr = prog_.instr[w][j];

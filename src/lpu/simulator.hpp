@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -43,7 +44,14 @@ class LpuSimulator {
   /// Run one batch. `inputs` holds one BitVec per primary input; all widths
   /// must be equal (each bit lane is an independent sample; the paper's
   /// datapath uses 2m lanes). Returns one BitVec per primary output.
-  std::vector<BitVec> run(const std::vector<BitVec>& inputs);
+  ///
+  /// `cancel`, when non-null, is polled between wavefronts: once it reads
+  /// true the run throws SimCancelled instead of finishing. All run state is
+  /// per-call, so a cancelled simulator is immediately reusable. The serving
+  /// runtime's speculative hedging passes the member slot's cancel flag here
+  /// so the losing duplicate of a hedged member stops burning cycles.
+  std::vector<BitVec> run(const std::vector<BitVec>& inputs,
+                          const std::atomic<bool>* cancel = nullptr);
 
   const SimCounters& counters() const { return counters_; }
 

@@ -113,6 +113,23 @@ struct EngineOptions {
   /// reverts to monolithic dispatch (the dequeuing worker runs every member
   /// itself), kept as the baseline for bench/serve_stealing.
   bool member_stealing = true;
+  /// Speculative straggler hedging: stealing moves unstarted work, it cannot
+  /// shorten a member that is already running slowly. When an in-flight
+  /// batch is down to its LAST unfinished member and that member has been
+  /// running longer than hedge_factor x the model's per-item service EWMA,
+  /// an idle worker (nothing to dispatch or steal) launches a duplicate
+  /// execution of it. The first copy to finish wins the member's result slot
+  /// via an atomic claim (MemberSlot::claim); the loser's output is
+  /// discarded and its simulator run is cancelled cooperatively, so results
+  /// are bit-exact with single execution either way. A duplicate is pure
+  /// redundancy: it never inflates queued_items, the drain estimate, or
+  /// member_runs. Hedging needs a service signal — a model whose EWMA is
+  /// still 0 (cold start) is never hedged. false disables (the steal-only
+  /// baseline of bench/serve_hedging).
+  bool hedging = true;
+  /// Straggler threshold: hedge once the last member's running time exceeds
+  /// hedge_factor x the per-item service EWMA. 0 is treated as 1.
+  std::uint32_t hedge_factor = 4;
   /// ModelOptions::queue_bound fallback when a load leaves it 0; 0 here means
   /// 4x the model's lane capacity (a few batches of headroom).
   std::size_t default_queue_bound = 0;
@@ -136,7 +153,11 @@ struct EngineOptions {
 /// assembly member is an independently claimable work item: the dequeuing
 /// worker claims members from the batch's atomic cursor while idle workers
 /// steal the rest (EngineOptions::member_stealing), so one straggling member
-/// cannot serialize its batch.
+/// cannot serialize its batch. When even the last member is already running
+/// but slow, idle workers speculatively duplicate it
+/// (EngineOptions::hedging): the first copy to finish wins the member's
+/// result slot atomically and the loser is cancelled — migration moves work,
+/// hedging shortens it.
 ///
 /// Lifecycle: load() / load_parallel() / load_async() return ref-counted
 /// ModelHandles; unload() (or evict_idle()) drains a model's outstanding
@@ -231,13 +252,16 @@ class Engine {
   /// directly assertable. nullptr clears.
   void set_dispatch_hook(std::function<void(const std::string&)> hook);
 
-  /// Called with (model name, member index) right before a claimed member's
-  /// simulator run, by whichever worker runs it (claimer or stealer), no
-  /// locks held. The time a hook spends is charged to the member's service
-  /// time, so benches inject per-member straggler delays with it and
-  /// ManualClock tests teach the admission EWMA deterministically by
-  /// advancing the clock inside it. nullptr clears.
-  void set_member_hook(std::function<void(const std::string&, std::size_t)> hook);
+  /// Called with (model name, member index, is_hedge_duplicate) right before
+  /// a member's simulator run, by whichever worker runs it (claimer, stealer,
+  /// or hedger; the flag is true only for the speculative duplicate of a
+  /// hedged member), no locks held. The time a hook spends is charged to the
+  /// executor's service time, so benches inject per-member straggler delays
+  /// with it and ManualClock tests teach the admission EWMA deterministically
+  /// by advancing the clock inside it — or gate original and duplicate at the
+  /// result-claim race exactly. nullptr clears.
+  void set_member_hook(
+      std::function<void(const std::string&, std::size_t, bool)> hook);
 
  private:
   friend struct ModelState;  // embeds a deque of ready batches
@@ -247,7 +271,7 @@ class Engine {
   /// Worker-thread-local execution state: the simulator cache (keyed by the
   /// shared read-only Program) and its pruning position in the retired list.
   struct WorkerContext;
-  using MemberHook = std::function<void(const std::string&, std::size_t)>;
+  using MemberHook = std::function<void(const std::string&, std::size_t, bool)>;
 
   void worker_loop();
   void timer_loop();
@@ -258,10 +282,14 @@ class Engine {
   std::future<std::vector<bool>> dispatch_admitted(ModelState* m,
                                                    std::vector<bool>&& inputs,
                                                    TimePoint deadline);
-  /// Execute one claimed member of a batch: expired-request settling (first
-  /// claimant), simulator run, slot/EWMA/stats accounting, and the completion
-  /// latch (the last member to finish finalizes the batch).
-  void run_member(BatchWork& work, std::size_t member, bool stolen,
+  /// Execute one copy of a batch member: expired-request settling (first
+  /// claimant), simulator run, the atomic result claim (under hedging two
+  /// copies of the same member race it; only the winner writes the slot,
+  /// outputs, EWMA, and stats), and the completion latch (the last member to
+  /// finish finalizes the batch). `hedge` marks the speculative duplicate of
+  /// a straggling member — it skips expiry settling (the original already
+  /// did it) and records the hedge ledger instead.
+  void run_member(BatchWork& work, std::size_t member, bool stolen, bool hedge,
                   WorkerContext& ctx,
                   const std::shared_ptr<const MemberHook>& hook);
   /// Claim one unclaimed member from an in-flight batch, pruning exhausted
@@ -274,12 +302,24 @@ class Engine {
   /// multi-member batch would stay pinned (requests, packed lanes, and its
   /// model's state) for the whole busy period.
   void prune_stealable_locked();
+  /// Drop finalized husks (members_left == 0) from the hedgeable list.
+  /// Called with queue_mu held on scheduler pops and before hedge scans —
+  /// the same growth-bound rationale as prune_stealable_locked.
+  void prune_hedgeable_locked();
+  /// Hedge-candidate scan, called with queue_mu held by a worker with
+  /// nothing to dispatch or steal. Finds an in-flight batch whose LAST
+  /// unfinished member (members_left == 1, every member claimed) has been
+  /// running past its hedge trigger (hedge_factor x the model's service
+  /// EWMA, timed by the injected clock) and CASes its slot kRunning ->
+  /// kHedged — at most one duplicate per member, ever. Returns true with the
+  /// batch/member to duplicate; otherwise sets *next_due to the earliest
+  /// future trigger among current candidates (kNoDeadline when none), so the
+  /// caller can sleep until exactly then. Prunes finalized husks.
+  bool try_hedge_locked(TimePoint now, std::shared_ptr<BatchWork>* work,
+                        std::size_t* member, TimePoint* next_due);
   /// Fail already-expired requests of a just-claimed batch (first member
   /// only); returns whether any live request remains to simulate.
   bool drop_expired_requests(BatchWork& work);
-  /// Read-only check (deadlines are immutable after sealing): is every
-  /// request in the batch past its deadline right now?
-  bool batch_fully_expired(const BatchWork& work) const;
   void enqueue_batch(ModelState& model, Batch&& batch);
   void finalize(BatchWork& work);
   void release_requests(std::size_t n);

@@ -63,15 +63,28 @@ void ModelStats::on_expired(std::size_t n) {
 void ModelStats::on_members_done(const std::vector<MemberSlot>& slots) {
   std::uint64_t ran = 0;
   std::uint64_t stolen = 0;
+  std::uint64_t hedge_won = 0;
   for (const MemberSlot& slot : slots) {
     if (!slot.ran) continue;
     ++ran;
     if (slot.stolen) ++stolen;
+    if (slot.hedge_won) ++hedge_won;
   }
   if (ran == 0) return;
   std::lock_guard<std::mutex> lk(mu_);
   member_runs_ += ran;
   steals_ += stolen;
+  hedge_wins_ += hedge_won;
+}
+
+void ModelStats::on_hedge_launched() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++hedges_launched_;
+}
+
+void ModelStats::on_hedge_waste(std::uint64_t wasted_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hedge_wasted_us_ += wasted_us;
 }
 
 ModelReport ModelStats::report() const {
@@ -92,6 +105,9 @@ ModelReport ModelStats::report() const {
   r.deadline_met = deadline_met_;
   r.member_runs = member_runs_;
   r.steals = steals_;
+  r.hedges_launched = hedges_launched_;
+  r.hedge_wins = hedge_wins_;
+  r.hedge_wasted_us = hedge_wasted_us_;
   return r;
 }
 
@@ -144,6 +160,7 @@ void ServeStats::on_members_done(const std::vector<MemberSlot>& slots) {
   // writer's store is ordered before finalize by the completion latch).
   std::uint64_t ran = 0;
   std::uint64_t stolen = 0;
+  std::uint64_t hedge_won = 0;
   std::int64_t first_done = 0;
   std::int64_t last_done = 0;
   for (const MemberSlot& slot : slots) {
@@ -152,6 +169,7 @@ void ServeStats::on_members_done(const std::vector<MemberSlot>& slots) {
     if (ran == 0 || slot.done_at_us > last_done) last_done = slot.done_at_us;
     ++ran;
     if (slot.stolen) ++stolen;
+    if (slot.hedge_won) ++hedge_won;
   }
   if (ran == 0) return;
   std::lock_guard<std::mutex> lk(mu_);
@@ -160,9 +178,20 @@ void ServeStats::on_members_done(const std::vector<MemberSlot>& slots) {
   }
   member_runs_ += ran;
   steals_ += stolen;
+  hedge_wins_ += hedge_won;
   if (ran > 1) {
     straggler_hist_.record(static_cast<std::uint64_t>(last_done - first_done));
   }
+}
+
+void ServeStats::on_hedge_launched() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++hedges_launched_;
+}
+
+void ServeStats::on_hedge_waste(std::uint64_t wasted_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hedge_wasted_us_ += wasted_us;
 }
 
 ServeReport ServeStats::report() const {
@@ -187,6 +216,9 @@ ServeReport ServeStats::report() const {
       r.wall_seconds > 0.0 ? static_cast<double>(deadline_met_) / r.wall_seconds : 0.0;
   r.member_runs = member_runs_;
   r.steals = steals_;
+  r.hedges_launched = hedges_launched_;
+  r.hedge_wins = hedge_wins_;
+  r.hedge_wasted_us = hedge_wasted_us_;
   r.member_p50_us = member_hist_.percentile_us(50.0);
   r.member_p99_us = member_hist_.percentile_us(99.0);
   r.straggler_gap_p50_us = straggler_hist_.percentile_us(50.0);
@@ -205,6 +237,7 @@ void ServeStats::reset() {
   requests_ = batches_ = samples_ = lanes_offered_ = 0;
   shed_ = expired_ = deadline_met_ = 0;
   member_runs_ = steals_ = 0;
+  hedges_launched_ = hedge_wins_ = hedge_wasted_us_ = 0;
   sim_ = SimCounters{};
   util_weight_ = 0.0;
   start_ = clock_->now();

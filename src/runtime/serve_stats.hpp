@@ -65,6 +65,15 @@ struct ModelReport {
   /// Member work items executed by a worker that did NOT dequeue the batch —
   /// idle-worker stealing hiding a straggler member.
   std::uint64_t steals = 0;
+  /// Speculative duplicates launched against a straggling last member
+  /// (EngineOptions::hedging). A hedged member still counts exactly once in
+  /// member_runs — the duplicate is redundancy, never extra logical work.
+  std::uint64_t hedges_launched = 0;
+  /// Hedges whose duplicate beat the original to the result claim.
+  std::uint64_t hedge_wins = 0;
+  /// Execution time burned by losing copies (original or duplicate) whose
+  /// result was discarded — the price paid for the tail-latency insurance.
+  std::uint64_t hedge_wasted_us = 0;
 };
 
 /// Snapshot of a ServeStats aggregation (all values since construction or the
@@ -96,6 +105,12 @@ struct ServeReport {
   /// with >= 2 executed members record a gap; stealing exists to shrink it).
   std::uint64_t member_runs = 0;
   std::uint64_t steals = 0;
+  /// Straggler-hedging ledger (see ModelReport for field semantics). The
+  /// invariant hedge_wins <= hedges_launched <= member_runs holds whenever
+  /// every hedged member actually executes (no failures/expiry skips).
+  std::uint64_t hedges_launched = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t hedge_wasted_us = 0;
   std::uint64_t member_p50_us = 0;
   std::uint64_t member_p99_us = 0;
   std::uint64_t straggler_gap_p50_us = 0;
@@ -123,8 +138,14 @@ class ModelStats {
   void on_queue_depth(std::size_t depth);
   void on_shed();
   void on_expired(std::size_t n);
-  /// A finalized batch's member slots: counts executed members and steals.
+  /// A finalized batch's member slots: counts executed members, steals, and
+  /// hedge wins.
   void on_members_done(const std::vector<MemberSlot>& slots);
+  /// A speculative duplicate was launched against a straggling member.
+  void on_hedge_launched();
+  /// A losing copy (original or duplicate) finished and discarded `wasted_us`
+  /// of execution time.
+  void on_hedge_waste(std::uint64_t wasted_us);
 
   ModelReport report() const;
 
@@ -141,6 +162,9 @@ class ModelStats {
   std::uint64_t deadline_met_ = 0;
   std::uint64_t member_runs_ = 0;
   std::uint64_t steals_ = 0;
+  std::uint64_t hedges_launched_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t hedge_wasted_us_ = 0;
 };
 
 /// Thread-safe serving metrics: request latencies (for p50/p99), batch lane
@@ -166,10 +190,12 @@ class ServeStats {
   void on_shed();
   void on_expired(std::size_t n);
   /// A finalized batch's member slots, recorded in one lock acquisition:
-  /// member service-time percentiles, steal counts, and — for batches where
-  /// at least two members executed — the straggler gap between the first and
-  /// the last member to finish.
+  /// member service-time percentiles, steal/hedge-win counts, and — for
+  /// batches where at least two members executed — the straggler gap between
+  /// the first and the last member to finish.
   void on_members_done(const std::vector<MemberSlot>& slots);
+  void on_hedge_launched();
+  void on_hedge_waste(std::uint64_t wasted_us);
 
   ServeReport report() const;
   void reset();
@@ -189,6 +215,9 @@ class ServeStats {
   std::uint64_t deadline_met_ = 0;
   std::uint64_t member_runs_ = 0;
   std::uint64_t steals_ = 0;
+  std::uint64_t hedges_launched_ = 0;
+  std::uint64_t hedge_wins_ = 0;
+  std::uint64_t hedge_wasted_us_ = 0;
   SimCounters sim_;
   /// Sum of (lpe_utilization * wavefronts) per run; report() divides by the
   /// summed wavefronts to recover the weighted mean.

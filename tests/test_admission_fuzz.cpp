@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <string>
 #include <vector>
@@ -70,7 +71,11 @@ std::vector<bool> direct_run(LpuSimulator& sim, const Netlist& nl,
   return result;
 }
 
-void run_fuzz_round(std::uint64_t seed, int num_ops) {
+/// `hedging` additionally enables speculative straggler hedging (with an
+/// eager trigger and a third worker so idle hands exist): duplicates then
+/// race originals for member result slots under the full lifecycle churn,
+/// and the run must stay bit-exact with a coherent hedge ledger.
+void run_fuzz_round(std::uint64_t seed, int num_ops, bool hedging = false) {
   Rng circuits(900 + seed);
   std::vector<Netlist> nls;
   for (int i = 0; i < kModels; ++i) {
@@ -100,9 +105,11 @@ void run_fuzz_round(std::uint64_t seed, int num_ops) {
   for (int i = 0; i < kModels; ++i) sims.emplace_back(compiled[i].program);
 
   EngineOptions eopt;
-  eopt.num_workers = 2;
+  eopt.num_workers = hedging ? 3 : 2;
   eopt.batch_timeout = std::chrono::microseconds(50);
   eopt.compile = copt;
+  eopt.hedging = hedging;
+  if (hedging) eopt.hedge_factor = 1;  // hedge at the slightest straggle
   Engine engine(eopt);
 
   std::vector<ModelHandle> handles(kModels);
@@ -215,12 +222,46 @@ void run_fuzz_round(std::uint64_t seed, int num_ops) {
   EXPECT_LE(rep.member_runs,
             rep.batches * static_cast<std::uint64_t>(kParallelMembers));
   EXPECT_LE(rep.steals, rep.member_runs);
+  // The hedge ledger closes: a duplicate can win at most once per launch,
+  // each launch targets a distinct member, and a hedged member still counts
+  // exactly once in member_runs — redundancy never inflates logical work.
+  // (No deadlines in this stream, so every hedged member did execute.)
+  EXPECT_LE(rep.hedge_wins, rep.hedges_launched);
+  EXPECT_LE(rep.hedges_launched, rep.member_runs);
+  if (!hedging) {
+    EXPECT_EQ(rep.hedges_launched, 0u);
+    EXPECT_EQ(rep.hedge_wasted_us, 0u);
+  }
   (void)rejected;
 }
 
 TEST(AdmissionFuzz, Seed1) { run_fuzz_round(1, 400); }
 TEST(AdmissionFuzz, Seed2) { run_fuzz_round(2, 400); }
 TEST(AdmissionFuzz, Seed3) { run_fuzz_round(3, 400); }
+
+// The same op stream with speculative hedging enabled: duplicates of
+// straggling members race their originals under unload/evict/drain churn,
+// and the oracle comparison still holds bit-exactly — hedging is pure
+// redundancy, never a third execution semantics.
+TEST(AdmissionFuzz, HedgedSeed1) { run_fuzz_round(11, 400, /*hedging=*/true); }
+TEST(AdmissionFuzz, HedgedSeed2) { run_fuzz_round(12, 400, /*hedging=*/true); }
+TEST(AdmissionFuzz, HedgedSeed3) { run_fuzz_round(13, 400, /*hedging=*/true); }
+
+// Nightly sweep hook: LBNN_FUZZ_SEEDS=<n> widens the run to n extra seeds
+// (alternating hedging off/on). The scheduled CI job sets 20; interactive
+// and per-PR runs skip.
+TEST(AdmissionFuzz, EnvSeedSweep) {
+  const char* env = std::getenv("LBNN_FUZZ_SEEDS");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set LBNN_FUZZ_SEEDS=<n> to sweep n extra seeds";
+  }
+  const long n = std::atol(env);
+  for (long s = 1; s <= n; ++s) {
+    SCOPED_TRACE("sweep seed " + std::to_string(100 + s));
+    run_fuzz_round(static_cast<std::uint64_t>(100 + s), 400,
+                   /*hedging=*/s % 2 == 0);
+  }
+}
 
 }  // namespace
 }  // namespace lbnn::runtime

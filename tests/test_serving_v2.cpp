@@ -95,6 +95,12 @@ TEST(ServingV2, BlockingSubmitUnblocksWhenCapacityFrees) {
   for (int i = 0; i < 4; ++i) {
     futs.push_back(engine.submit(grid, std::vector<bool>(nl.num_inputs())));
   }
+  // The bound is reached — the non-blocking probe proves it without any
+  // wall-clock waiting (a blocking probe of "still parked after N ms" would
+  // only ever be a timing guess).
+  std::future<std::vector<bool>> probe;
+  EXPECT_EQ(engine.try_submit(grid, std::vector<bool>(nl.num_inputs()), &probe),
+            SubmitStatus::kQueueFull);
   // The 5th blocking submit parks on the bound until drain() frees capacity.
   std::atomic<bool> fifth_admitted{false};
   std::thread blocked([&] {
@@ -102,9 +108,17 @@ TEST(ServingV2, BlockingSubmitUnblocksWhenCapacityFrees) {
     fifth_admitted.store(true);
     fut.get();
   });
-  std::this_thread::sleep_for(20ms);
-  EXPECT_FALSE(fifth_admitted.load());  // still exerting backpressure
-  engine.drain();  // runs the open batch, frees slots, admits #5, drains it too
+  // No sleeps: each drain() seals whatever is open and waits it out, freeing
+  // admission slots. The loop covers the only scheduling freedom left — the
+  // blocked thread may not have reached submit() before the first drain, and
+  // its request then needs one more flush to complete (the 1-hour batch
+  // timeout means nothing seals on its own).
+  engine.drain();  // runs the open batch, frees slots
+  while (!fifth_admitted.load()) {
+    std::this_thread::yield();
+    engine.drain();
+  }
+  engine.drain();  // the admitted 5th request's batch resolves
   blocked.join();
   EXPECT_TRUE(fifth_admitted.load());
   for (auto& f : futs) EXPECT_EQ(f.wait_for(0s), std::future_status::ready);
@@ -219,21 +233,24 @@ TEST(ServingV2, ConcurrentDistinctLoadsOverlapCompiles) {
   // compile waits (bounded) for the other to arrive: only possible when the
   // two compiles are in flight simultaneously. Under the PR 1 design
   // (compile under the cache lock) max_active would stay 1.
-  std::atomic<int> arrived{0};
   std::atomic<int> active{0};
   std::atomic<int> max_active{0};
+  std::mutex rendezvous_mu;
+  std::condition_variable rendezvous_cv;
+  int arrived = 0;
   engine.program_cache().set_compile_hook([&] {
     const int now = active.fetch_add(1) + 1;
     int seen = max_active.load();
     while (now > seen && !max_active.compare_exchange_weak(seen, now)) {
     }
-    arrived.fetch_add(1);
-    // Wait (bounded) on the monotonic arrivals counter — not on `active`,
-    // which the other hook may already have left — so both compiles overlap
-    // whenever overlap is possible, and neither spins out the full window.
-    for (int i = 0; i < 2000 && arrived.load() < 2; ++i) {
-      std::this_thread::sleep_for(1ms);
-    }
+    // Rendezvous on the monotonic arrivals counter — not on `active`, which
+    // the other hook may already have left: both compiles overlap whenever
+    // overlap is possible, with no wall-clock poll (the timeout only bounds
+    // a genuinely broken run, where max_active == 1 fails the test anyway).
+    std::unique_lock<std::mutex> lk(rendezvous_mu);
+    ++arrived;
+    rendezvous_cv.notify_all();
+    rendezvous_cv.wait_for(lk, 2s, [&] { return arrived >= 2; });
     active.fetch_sub(1);
   });
 
@@ -257,13 +274,22 @@ TEST(ServingV2, SameKeyConcurrentLoadsCompileExactlyOnce) {
   const Netlist nl = reconvergent_grid(16, 8, gen);
   Engine engine(small_engine(1));
 
+  constexpr int kLoaders = 4;
   std::atomic<int> compiles{0};
   engine.program_cache().set_compile_hook([&] {
     compiles.fetch_add(1);
-    std::this_thread::sleep_for(10ms);  // widen the join window
+    // Hold the one real compile open until every other loader has JOINED the
+    // in-flight future — observable, because the cache counts a join as a
+    // hit before the joiner blocks on it. Pure progress wait (bounded so a
+    // dedup bug degrades into a fast failure, not a hang): no wall clock.
+    for (long spin = 0;
+         engine.cache_stats().hits <
+             static_cast<std::uint64_t>(kLoaders - 1) &&
+         spin < 20'000'000;
+         ++spin) {
+      std::this_thread::yield();
+    }
   });
-
-  constexpr int kLoaders = 4;
   std::vector<std::future<ModelHandle>> futs;
   for (int i = 0; i < kLoaders; ++i) {
     futs.push_back(engine.load_async("replica-" + std::to_string(i), nl));
@@ -445,10 +471,23 @@ TEST(ServingV2, ShutdownUnloadSubmitRaces) {
       });
     }
 
-    std::this_thread::sleep_for(std::chrono::milliseconds(2 + round));
+    // Let the clients race ahead before each lifecycle op — measured in op
+    // progress, not wall time, so the interleaving still varies per round
+    // (the thresholds shift) but nothing ever sleeps. Progress is guaranteed:
+    // workers keep sealing (50 us timeout) and draining batches, so blocked
+    // submitters always advance, and after unload/shutdown the remaining ops
+    // turn into instant rejections.
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(kThreads) * kPerThread;
+    const auto progressed = [&](std::uint64_t at_least) {
+      while (accepted.load() + rejected.load() < at_least) {
+        std::this_thread::yield();
+      }
+    };
+    progressed(total / 8 + static_cast<std::uint64_t>(round) * total / 8);
     engine.drain();
     engine.unload(b);
-    std::this_thread::sleep_for(1ms);
+    progressed(total / 2 + static_cast<std::uint64_t>(round) * total / 8);
     engine.shutdown();
     for (auto& c : clients) c.join();
 
@@ -484,27 +523,93 @@ TEST(SubmitStatusV2, ToStringIsExhaustiveAndDistinct) {
   EXPECT_EQ(seen.size(), sizeof(kTable) / sizeof(kTable[0]));
 }
 
-// The admission estimate is a pure function — deterministic unit coverage of
-// the shedding math, independent of any real service-time measurement.
+// The admission estimate is a pure function — table-driven unit coverage of
+// the shedding math, independent of any real service-time measurement. The
+// zero-EWMA rows are the cold-start path: the first request to a fresh model
+// must never be shed on a guess (no service signal means no estimate), and
+// the deadline boundary is INCLUSIVE to match the rest of the runtime
+// (drop_expired_requests / finalize treat finishing AT the deadline as on
+// time, so only a deadline strictly in the past is dead at admission).
 TEST(AdmissionV2, DeadlineUnmeetableEstimate) {
   using us = std::chrono::microseconds;
   const TimePoint now = TimePoint{} + std::chrono::hours(1);
-  // No deadline: never shed, whatever the backlog looks like.
-  EXPECT_FALSE(deadline_unmeetable(kNoDeadline, now, 1000, 1000000, 1));
-  // Already expired at admission: shed even with no service signal.
-  EXPECT_TRUE(deadline_unmeetable(now, now, 0, 0, 1));
-  EXPECT_TRUE(deadline_unmeetable(now - us(1), now, 0, 0, 4));
-  // Future deadline but no service signal yet (ewma == 0): admit.
-  EXPECT_FALSE(deadline_unmeetable(now + us(1), now, 0, 1000000, 4));
-  // 10 items at 100 us each on one worker: 1000 us drain.
-  EXPECT_TRUE(deadline_unmeetable(now + us(999), now, 100, 10, 1));
-  EXPECT_FALSE(deadline_unmeetable(now + us(1000), now, 100, 10, 1));
-  // 4 workers drain in parallel: ceil(10/4) = 3 items -> 300 us (the
-  // estimate is deliberately the best case).
-  EXPECT_TRUE(deadline_unmeetable(now + us(299), now, 100, 10, 4));
-  EXPECT_FALSE(deadline_unmeetable(now + us(300), now, 100, 10, 4));
-  // Defensive: workers == 0 behaves as one worker.
-  EXPECT_TRUE(deadline_unmeetable(now + us(999), now, 100, 10, 0));
+  const struct {
+    const char* why;
+    TimePoint deadline;
+    std::uint64_t ewma_us;
+    std::size_t items_ahead;
+    std::size_t workers;
+    bool unmeetable;
+  } kTable[] = {
+      {"no deadline: never shed, whatever the backlog",
+       kNoDeadline, 1000, 1000000, 1, false},
+      // --- zero-EWMA cold start: a fresh model has no service signal ---
+      {"cold start, future deadline, empty queue: admit",
+       now + us(1), 0, 0, 1, false},
+      {"cold start, future deadline, huge backlog: still admit (no signal)",
+       now + us(1), 0, 1000000, 4, false},
+      {"cold start, deadline exactly now: inclusive boundary, admit",
+       now, 0, 0, 1, false},
+      {"cold start, deadline exactly now, deep queue: still no estimate",
+       now, 0, 1000, 1, false},
+      {"deadline strictly past: dead at admission even with no signal",
+       now - us(1), 0, 0, 4, true},
+      // --- warmed-up estimates ---
+      {"10 items x 100 us on one worker: 1000 us drain, 999 us budget",
+       now + us(999), 100, 10, 1, true},
+      {"same drain, exactly 1000 us budget: inclusive, admit",
+       now + us(1000), 100, 10, 1, false},
+      {"warm model, deadline exactly now, work queued: certainly late",
+       now, 100, 10, 1, true},
+      {"4 workers drain in parallel: ceil(10/4) x 100 us = 300 us (best case)",
+       now + us(299), 100, 10, 4, true},
+      {"best-case boundary met exactly: admit",
+       now + us(300), 100, 10, 4, false},
+      {"defensive: workers == 0 behaves as one worker",
+       now + us(999), 100, 10, 0, true},
+  };
+  for (const auto& row : kTable) {
+    EXPECT_EQ(deadline_unmeetable(row.deadline, now, row.ewma_us,
+                                  row.items_ahead, row.workers),
+              row.unmeetable)
+        << row.why;
+  }
+}
+
+// Engine-level cold start: the very first request to a freshly loaded model
+// carries a tight-but-future deadline and a backlog is already parked in the
+// open lane — with no service EWMA yet, admission must stay optimistic (no
+// shed), and the request completes. ManualClock: the whole test is timeless.
+TEST(AdmissionV2, ColdStartNeverShedsOnMissingSignal) {
+  ManualClock clock;
+  Rng gen(134);
+  const Netlist nl = reconvergent_grid(8, 4, gen);
+  EngineOptions eopt = small_engine(1);
+  eopt.batch_timeout = std::chrono::hours(1);
+  eopt.clock = &clock;
+  Engine engine(eopt);
+  ModelOptions mopt;
+  mopt.queue_bound = 64;
+  const ModelHandle grid = engine.load("grid", nl, mopt);
+
+  const std::vector<bool> bits(nl.num_inputs(), true);
+  // Park a few deadline-less requests in the open lane first: items are
+  // ahead of the probe, but the EWMA is still 0 — no estimate, no shed.
+  std::vector<std::future<std::vector<bool>>> parked;
+  for (int i = 0; i < 3; ++i) parked.push_back(engine.submit(grid, bits));
+
+  std::future<std::vector<bool>> fut;
+  EXPECT_EQ(engine.try_submit(grid, bits, &fut,
+                              clock.now() + std::chrono::microseconds(1)),
+            SubmitStatus::kAccepted);
+  engine.drain();
+  EXPECT_EQ(fut.get(), simulate_scalar(nl, bits));
+  for (auto& f : parked) EXPECT_EQ(f.get(), simulate_scalar(nl, bits));
+
+  const ServeReport rep = engine.report();
+  EXPECT_EQ(rep.shed, 0u);
+  EXPECT_EQ(rep.requests, 4u);
+  EXPECT_EQ(rep.deadline_met, 4u);  // zero manual time passed: all on time
 }
 
 // Admission shedding on an already-missed deadline is deterministic (no EWMA
@@ -842,7 +947,7 @@ TEST(AdmissionV2, OpenBatchCountsTowardDrainEstimate) {
   Engine engine(eopt);
   const ModelHandle dag = engine.load_parallel("dag", nl, 4);
 
-  engine.set_member_hook([&](const std::string&, std::size_t) {
+  engine.set_member_hook([&](const std::string&, std::size_t, bool) {
     clock.advance(std::chrono::milliseconds(1));
   });
 
