@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -50,6 +52,23 @@ inline std::string fps_str(double fps) {
 
 inline void print_rule(std::size_t width) {
   std::cout << std::string(width, '-') << "\n";
+}
+
+/// Append one machine-readable result line (JSONL) to the file named by the
+/// LBNN_BENCH_JSON environment variable; a no-op when it is unset, so plain
+/// interactive runs emit nothing. bench/run_all.py collects the lines into
+/// BENCH_PR<N>.json — the checked-in perf-trajectory file CI diffs against.
+/// A metric a bench cannot measure is reported as 0 and skipped by the
+/// comparer, not guessed.
+inline void emit_bench_json(const std::string& name, double p50_us,
+                            double p99_us, double goodput_per_sec, bool pass) {
+  const char* path = std::getenv("LBNN_BENCH_JSON");
+  if (path == nullptr) return;
+  std::ofstream os(path, std::ios::app);
+  os << std::fixed << std::setprecision(3) << "{\"bench\":\"" << name
+     << "\",\"p50_us\":" << p50_us << ",\"p99_us\":" << p99_us
+     << ",\"goodput_per_sec\":" << goodput_per_sec
+     << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
 }
 
 }  // namespace lbnn::bench

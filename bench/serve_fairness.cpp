@@ -176,5 +176,9 @@ int main(int argc, char** argv) {
               << "x better";
   }
   std::cout << "\n";
+  lbnn::bench::emit_bench_json("serve_fairness",
+                               static_cast<double>(fair.report.p50_latency_us),
+                               static_cast<double>(fair_p99),
+                               fair.report.requests_per_sec, fair_p99 > 0);
   return 0;
 }

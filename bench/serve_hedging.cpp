@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "core/compiler.hpp"
 #include "lpu/simulator.hpp"
@@ -190,6 +191,7 @@ int main(int argc, char** argv) {
   bool latency_ok = false;
   bool exact_ok = true;
   std::uint64_t wins = 0;
+  double hedged_p50 = 0.0, hedged_p99 = 0.0, hedged_rps = 0.0;
   for (int attempt = 0; attempt < 2 && !latency_ok && exact_ok; ++attempt) {
     if (attempt > 0) {
       std::cout << "latency gate missed; retrying once (noisy host?)\n\n";
@@ -211,10 +213,15 @@ int main(int argc, char** argv) {
     exact_ok = steal_only.mismatches == 0 && hedged.mismatches == 0;
     wins = hedged.report.hedge_wins;
     latency_ok = hedged.p99_us < 0.95 * steal_only.p99_us && wins > 0;
+    hedged_p50 = hedged.p50_us;
+    hedged_p99 = hedged.p99_us;
+    hedged_rps = hedged.report.requests_per_sec;
   }
   const bool ok = latency_ok && exact_ok;
   std::cout << (ok ? "PASS" : "FAIL")
             << ": p99(hedging) < 0.95 x p99(steal-only), hedge_wins > 0 ("
             << wins << "), outputs bit-exact vs oracle\n";
+  lbnn::bench::emit_bench_json("serve_hedging", hedged_p50, hedged_p99,
+                               hedged_rps, ok);
   return ok ? 0 : 1;
 }

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "netlist/random_circuits.hpp"
@@ -261,5 +262,9 @@ int main(int argc, char** argv) {
   std::cout << (ok ? "PASS" : "FAIL")
             << ": goodput(shedding) >= goodput(baseline) and median "
                "rejection < 1 ms\n";
+  lbnn::bench::emit_bench_json("serve_overload",
+                               static_cast<double>(shed.report.p50_latency_us),
+                               static_cast<double>(shed.report.p99_latency_us),
+                               shed.goodput_per_sec, ok);
   return ok ? 0 : 1;
 }

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "netlist/random_circuits.hpp"
 #include "runtime/engine.hpp"
@@ -158,6 +159,7 @@ int main(int argc, char** argv) {
   // Best-of-two: a single attempt can lose to asymmetric oversleep outliers
   // on a loaded host, a real regression fails both.
   bool ok = false;
+  double steal_p50 = 0.0, steal_p99 = 0.0, steal_rps = 0.0;
   for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
     if (attempt > 0) {
       std::cout << "gate missed; retrying once (noisy host?)\n\n";
@@ -177,8 +179,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
     ok = steal.p99_us < 0.95 * mono.p99_us && steal.report.steals > 0;
+    steal_p50 = steal.p50_us;
+    steal_p99 = steal.p99_us;
+    steal_rps = steal.report.requests_per_sec;
   }
   std::cout << (ok ? "PASS" : "FAIL")
             << ": p99(stealing) < 0.95 x p99(monolithic) and steals > 0\n";
+  lbnn::bench::emit_bench_json("serve_stealing", steal_p50, steal_p99,
+                               steal_rps, ok);
   return ok ? 0 : 1;
 }

@@ -5,10 +5,18 @@
 // LpuSimulator synchronously with hand-packed words — here the runtime does
 // the packing, batching, weighted-fair dispatch, and lifecycle.
 //
-//   $ ./serve_demo
+//   $ ./serve_demo [--trace out.json] [--prometheus] [--metrics-json]
+//
+// --trace FILE turns the engine's request-lifecycle tracing on and writes a
+// Chrome trace-event JSON to FILE (open it in chrome://tracing or Perfetto).
+// --prometheus / --metrics-json print the same ServeReport in scrape-able
+// formats (see README "Observability").
 
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "netlist/random_circuits.hpp"
@@ -43,9 +51,26 @@ lbnn::Netlist build_adder() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lbnn;
   using namespace lbnn::runtime;
+
+  std::string trace_path;
+  bool print_prometheus = false;
+  bool print_metrics_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prometheus") == 0) {
+      print_prometheus = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      print_metrics_json = true;
+    } else {
+      std::cerr << "usage: serve_demo [--trace out.json] [--prometheus] "
+                   "[--metrics-json]\n";
+      return 2;
+    }
+  }
 
   const Netlist adder_nl = build_adder();
   Rng gen(3);
@@ -56,6 +81,7 @@ int main() {
   opt.batch_timeout = std::chrono::microseconds(200);
   opt.compile.lpu.m = 8;
   opt.compile.lpu.n = 8;
+  opt.tracing = !trace_path.empty();
   Engine engine(opt);
 
   // load() returns a ref-counted handle carrying per-model QoS options.
@@ -149,6 +175,18 @@ int main() {
             << " us discarded\n";
   std::cout << "simulated " << rep.sim.clock_cycles << " LPU clock cycles, "
             << rep.sim.lpe_computes << " LPE computes\n";
+  // Where did the latency go? The same lifecycle stamps the trace records,
+  // folded into per-phase histograms (submit->seal->dispatch->done->settled).
+  const auto phase_row = [](const char* name, const PhaseStats& p) {
+    std::cout << "  " << std::left << std::setw(14) << name << "p50 <= "
+              << std::setw(8) << p.p50_us << "p99 <= " << std::setw(8)
+              << p.p99_us << "(" << p.count << " samples)\n";
+  };
+  std::cout << "latency phases (us):\n";
+  phase_row("assembly-wait", rep.phases.assembly_wait);
+  phase_row("queue-wait", rep.phases.queue_wait);
+  phase_row("execution", rep.phases.execution);
+  phase_row("finalize", rep.phases.finalize);
 
   // Per-model breakdown: the weighted scheduler's fairness and each model's
   // SLO outcomes are observable.
@@ -179,5 +217,23 @@ int main() {
   std::cout << to_string(engine.try_submit(
                    grid, std::vector<bool>(grid_nl.num_inputs()), &stale))
             << "\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    engine.export_trace(os);
+    std::cout << "\nwrote Chrome trace to " << trace_path
+              << " (open in chrome://tracing or Perfetto; dropped events: "
+              << engine.trace_dropped() << ")\n";
+  }
+  if (print_prometheus) {
+    std::cout << "\n--- prometheus ---\n" << engine.metrics_prometheus();
+  }
+  if (print_metrics_json) {
+    std::cout << "\n--- metrics json ---\n" << engine.metrics_json() << "\n";
+  }
   return 0;
 }

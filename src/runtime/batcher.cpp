@@ -54,7 +54,8 @@ Batch Batcher::finish(std::vector<Request>&& requests) const {
 
 std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
                                                TimePoint deadline,
-                                               bool* opened_batch) {
+                                               bool* opened_batch,
+                                               std::uint64_t req_id) {
   if (input_bits.size() != num_inputs_) {
     throw Error("request has " + std::to_string(input_bits.size()) +
                 " input bits, model expects " + std::to_string(num_inputs_));
@@ -63,6 +64,7 @@ std::future<std::vector<bool>> Batcher::submit(std::vector<bool> input_bits,
   req.inputs = std::move(input_bits);
   req.enqueued = clock_.now();
   req.deadline = deadline;
+  req.id = req_id;
   std::future<std::vector<bool>> fut = req.result.get_future();
 
   std::vector<Request> full;

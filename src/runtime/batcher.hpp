@@ -20,6 +20,9 @@ struct Request {
   std::vector<bool> inputs;
   std::promise<std::vector<bool>> result;
   TimePoint enqueued;
+  /// Engine-assigned request id (monotonic, never 0 when tracing): links the
+  /// trace stream's submit event to this request's completion across threads.
+  std::uint64_t id = 0;
   /// Absolute completion deadline; kNoDeadline when the client set none.
   TimePoint deadline = kNoDeadline;
   /// Set by the worker that finds the request already past its deadline at
@@ -130,10 +133,12 @@ class Batcher {
   /// stamped onto the request for the engine's expiry handling (kNoDeadline =
   /// none). When `opened_batch` is non-null it is set to whether this request
   /// started a new open batch (i.e. a new seal deadline now exists) — the
-  /// engine only needs to re-arm its timekeeper in that case.
+  /// engine only needs to re-arm its timekeeper in that case. `req_id` is the
+  /// engine's trace id for this request (0 when tracing is off).
   std::future<std::vector<bool>> submit(std::vector<bool> input_bits,
                                         TimePoint deadline = kNoDeadline,
-                                        bool* opened_batch = nullptr);
+                                        bool* opened_batch = nullptr,
+                                        std::uint64_t req_id = 0);
 
   /// Seal deadline of the currently open batch, if one is open.
   std::optional<TimePoint> deadline() const;

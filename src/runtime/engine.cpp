@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -13,6 +14,8 @@
 #include "common/error.hpp"
 #include "lpu/simulator.hpp"
 #include "runtime/batcher.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/trace.hpp"
 
 namespace lbnn::runtime {
 
@@ -101,6 +104,13 @@ struct Engine::BatchWork {
   std::vector<BitVec> inputs;   ///< packed PIs, width == requests.size()
   std::vector<BitVec> outputs;  ///< original PO order
   std::uint64_t seq = 0;        ///< global enqueue order, for kGlobalFifo
+  /// Phase-decomposition stamps (us by the engine clock). sealed_at_us is
+  /// written by the sealing thread before the batch enters the ready queue;
+  /// dispatched_at_us by the popping worker inside the scheduler critical
+  /// section. Both are plain fields: every later reader acquired queue_mu
+  /// after the writer released it (pop, steal, and hedge all go through it).
+  std::int64_t sealed_at_us = 0;
+  std::int64_t dispatched_at_us = 0;
   /// Claim cursor: fetch_add hands out member indices exactly once; values
   /// >= slots.size() mean "nothing left to claim" (overshoot is harmless).
   std::atomic<std::size_t> next_member{0};
@@ -209,6 +219,16 @@ struct Engine::Impl {
   /// erases — the registry finally shrinks.
   std::map<std::uint64_t, std::shared_ptr<ModelState>> registry;
   std::uint64_t next_model_id = 1;
+  /// Unloaded models' full stats history, folded in by unload() so the
+  /// "(retired)" report row (and metrics spanning a version flip) keep what
+  /// the registry erase would otherwise lose. retired_models counts the
+  /// folds; both guarded by models_mu (ModelStats has its own lock, but the
+  /// pair must read consistently in report()).
+  ModelStats retired_stats;
+  std::uint64_t retired_models = 0;
+
+  /// Trace request-id allocator (monotonic, 1-based so 0 reads "untraced").
+  std::atomic<std::uint64_t> next_req_id{1};
 
   /// Scheduler: models with a non-empty ready deque. Workers pick the lowest
   /// pass (weighted-fair) or the oldest front batch (global FIFO).
@@ -283,10 +303,14 @@ Engine::Engine(const EngineOptions& options)
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
+  if (options_.tracing || std::getenv("LBNN_FORCE_TRACING") != nullptr) {
+    tracer_ = std::make_unique<Tracer>(workers, options_.trace_ring_capacity,
+                                       *clock_);
+  }
   workers_.reserve(workers);
   try {
     for (std::uint32_t i = 0; i < workers; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(1 + i); });
     }
     timer_ = std::thread([this] { timer_loop(); });
   } catch (...) {
@@ -306,6 +330,21 @@ Engine::Engine(const EngineOptions& options)
 }
 
 Engine::~Engine() { shutdown(); }
+
+void Engine::emit_trace(std::size_t track, TraceEventType type,
+                        std::uint64_t model_id, std::uint64_t id,
+                        std::uint32_t member, std::uint64_t arg,
+                        std::uint8_t flags) {
+  if (!tracer_) return;
+  TraceEvent ev;
+  ev.type = type;
+  ev.flags = flags;
+  ev.member = member;
+  ev.model_id = model_id;
+  ev.id = id;
+  ev.arg = arg;
+  tracer_->emit(track, ev);
+}
 
 ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
                                    std::size_t lane_capacity,
@@ -334,6 +373,7 @@ ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
     state->id = impl_->next_model_id++;
     impl_->registry.emplace(state->id, state);
   }
+  if (tracer_) tracer_->register_model(state->id, state->name);
   return ModelHandle(std::move(state));
 }
 
@@ -452,6 +492,11 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
   check_arity(*m, inputs.size());
   TimePoint now = clock_->now();
   deadline = effective_deadline(*m, deadline, now);
+  const std::uint64_t req_id =
+      impl_->next_req_id.fetch_add(1, std::memory_order_relaxed);
+  emit_trace(Tracer::kSharedTrack, TraceEventType::kSubmit, m->id, req_id, 0,
+             deadline == kNoDeadline ? 0
+                                     : static_cast<std::uint64_t>(to_us(deadline)));
   // Claim the request BEFORE the accepting checks: shutdown() flips accepting
   // and then drains, so either this claim lands before drain's in_flight read
   // (drain waits for us; timer/workers stay alive until we're answered) or it
@@ -463,6 +508,7 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
       lk.unlock();
       stats_.on_shed();
       m->stats.on_shed();
+      emit_trace(Tracer::kSharedTrack, TraceEventType::kShed, m->id, req_id);
       release_requests(1);
       throw DeadlineExceeded("model '" + m->name +
                              "': estimated drain time exceeds the deadline");
@@ -498,7 +544,7 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
     }
     ++m->outstanding;
   }
-  return dispatch_admitted(m, std::move(inputs), deadline);
+  return dispatch_admitted(m, std::move(inputs), deadline, req_id);
 }
 
 /// Post-admission tail shared by submit() and try_submit(). The caller has
@@ -506,12 +552,16 @@ std::future<std::vector<bool>> Engine::submit(const ModelHandle& model,
 /// to the batcher (rolling both claims back if it throws) and re-arms the
 /// timekeeper when a new batch deadline appeared.
 std::future<std::vector<bool>> Engine::dispatch_admitted(
-    ModelState* m, std::vector<bool>&& inputs, TimePoint deadline) {
+    ModelState* m, std::vector<bool>&& inputs, TimePoint deadline,
+    std::uint64_t req_id) {
   m->last_used_us.store(to_us(clock_->now()));
+  // kAdmit BEFORE the batcher call: a lane-full submit seals inline, and the
+  // admit of the sealing request must precede its batch's seal in the stream.
+  emit_trace(Tracer::kSharedTrack, TraceEventType::kAdmit, m->id, req_id);
   std::future<std::vector<bool>> fut;
   bool opened_batch = false;
   try {
-    fut = m->batcher->submit(std::move(inputs), deadline, &opened_batch);
+    fut = m->batcher->submit(std::move(inputs), deadline, &opened_batch, req_id);
   } catch (...) {
     {
       std::lock_guard<std::mutex> lk(m->mu);
@@ -540,6 +590,11 @@ SubmitStatus Engine::try_submit(const ModelHandle& model,
   check_arity(*m, inputs.size());
   const TimePoint now = clock_->now();
   deadline = effective_deadline(*m, deadline, now);
+  const std::uint64_t req_id =
+      impl_->next_req_id.fetch_add(1, std::memory_order_relaxed);
+  emit_trace(Tracer::kSharedTrack, TraceEventType::kSubmit, m->id, req_id, 0,
+             deadline == kNoDeadline ? 0
+                                     : static_cast<std::uint64_t>(to_us(deadline)));
   impl_->in_flight.fetch_add(1);  // same claim-first rationale as submit()
   {
     std::lock_guard<std::mutex> lk(m->mu);
@@ -554,6 +609,7 @@ SubmitStatus Engine::try_submit(const ModelHandle& model,
     if (shed_check(*m, deadline, now, workers_.size())) {
       stats_.on_shed();
       m->stats.on_shed();
+      emit_trace(Tracer::kSharedTrack, TraceEventType::kShed, m->id, req_id);
       release_requests(1);
       return SubmitStatus::kDeadlineUnmeetable;
     }
@@ -563,7 +619,7 @@ SubmitStatus Engine::try_submit(const ModelHandle& model,
     }
     ++m->outstanding;
   }
-  *result = dispatch_admitted(m, std::move(inputs), deadline);
+  *result = dispatch_admitted(m, std::move(inputs), deadline, req_id);
   return SubmitStatus::kAccepted;
 }
 
@@ -603,6 +659,11 @@ bool Engine::unload(const ModelHandle& model) {
   }
   {
     std::lock_guard<std::mutex> lk(impl_->models_mu);
+    // Fold the model's full stats history into the persistent retired
+    // aggregate BEFORE the registry erase: report() reads the pair under the
+    // same lock, so no snapshot can see the row gone but the fold missing.
+    impl_->retired_stats.merge_from(m->stats);
+    ++impl_->retired_models;
     impl_->registry.erase(m->id);
     // Release the cache's pin on this model's program — unless another loaded
     // model (a replica) shares the key and still wants the cached artifact.
@@ -649,10 +710,18 @@ void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
   work->inputs = pack_requests(work->requests, model.num_inputs);
   work->outputs.assign(model.num_outputs, BitVec(work->requests.size()));
   work->members_left.store(work->slots.size());
+  work->sealed_at_us = to_us(clock_->now());
   const std::size_t items = work->slots.size();
+  const std::size_t n_requests = work->requests.size();
   {
     std::lock_guard<std::mutex> lk(impl_->queue_mu);
     work->seq = impl_->next_seq++;
+    // Seal + enqueue events INSIDE the scheduler critical section: no worker
+    // can pop (and emit kDispatch for) this batch until the unlock below, so
+    // seal < enqueue < dispatch holds in the global seq order. The tracer's
+    // shared-ring lock is a leaf; queue_mu -> shared_mu is the only nesting.
+    emit_trace(Tracer::kSharedTrack, TraceEventType::kSeal, model.id, work->seq,
+               0, n_requests);
     model.ready.push_back(std::move(work));
     if (!model.in_ready_list) {
       // A model re-entering the ready set starts at the current virtual time,
@@ -665,6 +734,8 @@ void Engine::enqueue_batch(ModelState& model, Batch&& batch) {
     const std::size_t depth =
         model.queued_items.fetch_add(items, std::memory_order_relaxed) + items;
     model.stats.on_queue_depth(depth);
+    emit_trace(Tracer::kSharedTrack, TraceEventType::kEnqueue, model.id,
+               impl_->next_seq - 1, 0, depth);
   }
   // One batch is one scheduler pop: wake one worker. The popper re-notifies
   // when it publishes a multi-member batch for stealing.
@@ -676,6 +747,7 @@ struct Engine::WorkerContext {
   // Program is read-only, all mutable run state lives in the simulator.
   std::unordered_map<const Program*, std::unique_ptr<LpuSimulator>> sims;
   std::size_t retired_seen = 0;  ///< position consumed in retired_programs
+  std::size_t track = 0;         ///< this worker's trace ring (1 + worker index)
 };
 
 void Engine::prune_stealable_locked() {
@@ -780,8 +852,9 @@ bool Engine::try_steal_locked(std::shared_ptr<BatchWork>* work,
   return false;
 }
 
-void Engine::worker_loop() {
+void Engine::worker_loop(std::size_t track) {
   WorkerContext ctx;
+  ctx.track = track;
   const bool fifo =
       options_.scheduling == EngineOptions::Scheduling::kGlobalFifo;
   for (;;) {
@@ -814,6 +887,11 @@ void Engine::worker_loop() {
           ModelState* m = impl_->ready_models[best];
           work = std::move(m->ready.front());
           m->ready.pop_front();
+          work->dispatched_at_us = to_us(clock_->now());
+          // kDispatch inside the critical section: a stealer cannot claim a
+          // member of this batch until it acquires queue_mu after our unlock,
+          // so dispatch always precedes every steal of it in seq order.
+          emit_trace(track, TraceEventType::kDispatch, m->id, work->seq);
           impl_->vtime = m->pass;
           // One batch is slots.size() work items of this model's share.
           m->pass += m->stride * work->slots.size();
@@ -914,6 +992,10 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
 
   MemberSlot& slot = work.slots[member_index];
   if (!hedge) {
+    emit_trace(ctx.track,
+               stolen ? TraceEventType::kMemberSteal : TraceEventType::kMemberClaim,
+               work.model->id, work.seq, static_cast<std::uint32_t>(member_index),
+               0, stolen ? kTraceFlagStolen : std::uint8_t{0});
     // The first member claimed anywhere settles requests that are already
     // past their deadline: their futures fail NOW, with DeadlineExceeded,
     // and a fully-expired batch skips the simulator entirely. Later members
@@ -926,7 +1008,7 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
     // ever finalizes the batch concurrently with the settler failing
     // expired promises (that race would double-resolve them).
     if (!work.expiry_claimed.exchange(true)) {
-      if (!drop_expired_requests(work)) work.skip_run.store(true);
+      if (!drop_expired_requests(work, ctx.track)) work.skip_run.store(true);
     }
     // Publish the execution start for hedge-candidate scans: the stamp
     // first, then the claim state a hedger keys off.
@@ -950,6 +1032,8 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
     // gating the duplicate still observes hedges_launched == 1.
     stats_.on_hedge_launched();
     work.model->stats.on_hedge_launched();
+    emit_trace(ctx.track, TraceEventType::kHedgeLaunch, work.model->id, work.seq,
+               static_cast<std::uint32_t>(member_index), 0, kTraceFlagHedge);
   }
   const bool skip = work.skip_run.load();
 
@@ -1052,13 +1136,28 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
     // and walk away; double-resolving the promises is impossible from here.
     stats_.on_hedge_waste(wasted_us);
     work.model->stats.on_hedge_waste(wasted_us);
+    emit_trace(ctx.track, TraceEventType::kHedgeCancel, work.model->id, work.seq,
+               static_cast<std::uint32_t>(member_index), wasted_us,
+               hedge ? kTraceFlagHedge : std::uint8_t{0});
     return;
   }
   slot.done_at_us = to_us(clock_->now());
+  {
+    std::uint8_t flags = 0;
+    if (stolen) flags |= kTraceFlagStolen;
+    if (hedge) flags |= kTraceFlagHedge;
+    if (skip) flags |= kTraceFlagSkipped;
+    emit_trace(ctx.track, TraceEventType::kMemberDone, work.model->id, work.seq,
+               static_cast<std::uint32_t>(member_index), slot.service_us, flags);
+  }
+  if (hedge) {
+    emit_trace(ctx.track, TraceEventType::kHedgeWin, work.model->id, work.seq,
+               static_cast<std::uint32_t>(member_index), 0, kTraceFlagHedge);
+  }
 
   const std::size_t left = work.members_left.fetch_sub(1);
   if (left == 1) {
-    finalize(work);
+    finalize(work, ctx.track);
   } else if (left == 2 && options_.hedging) {
     // The batch just dropped to its last unfinished member — the hedge
     // trigger for that member starts mattering now. Same lost-wakeup pairing
@@ -1071,7 +1170,7 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
   }
 }
 
-bool Engine::drop_expired_requests(BatchWork& work) {
+bool Engine::drop_expired_requests(BatchWork& work, std::size_t track) {
   const TimePoint now = clock_->now();
   std::size_t expired = 0;
   for (auto& req : work.requests) {
@@ -1087,15 +1186,19 @@ bool Engine::drop_expired_requests(BatchWork& work) {
   // report() must see its request in `expired`.
   stats_.on_expired(expired);
   work.model->stats.on_expired(expired);
+  emit_trace(track, TraceEventType::kExpire, work.model->id, work.seq, 0,
+             expired);
   for (auto& req : work.requests) {
     if (!req.expired) continue;
+    emit_trace(track, TraceEventType::kRequestDone, work.model->id, req.id, 0, 0,
+               kTraceFlagExpired);
     req.result.set_exception(std::make_exception_ptr(DeadlineExceeded(
         "request expired in '" + work.model->name + "' queue before dispatch")));
   }
   return expired != work.requests.size();
 }
 
-void Engine::finalize(BatchWork& work) {
+void Engine::finalize(BatchWork& work, std::size_t track) {
   ModelState& m = *work.model;
   const TimePoint now = clock_->now();
   // Requests the dequeue-time expiry pass already failed are settled; only
@@ -1110,12 +1213,16 @@ void Engine::finalize(BatchWork& work) {
   // before this point by the members_left decrement chain.
   stats_.on_members_done(work.slots);
   m.stats.on_members_done(work.slots);
+  emit_trace(track, TraceEventType::kFinalize, m.id, work.seq, 0, live,
+             work.failed.load() ? kTraceFlagFailed : std::uint8_t{0});
   if (work.failed.load()) {
     // The batch ran (and wasted its lanes) but produced no samples.
     stats_.on_batch(0, m.batcher->lane_capacity());
     m.stats.on_batch(0, m.batcher->lane_capacity());
     for (auto& req : work.requests) {
       if (req.expired) continue;
+      emit_trace(track, TraceEventType::kRequestDone, m.id, req.id, 0, 0,
+                 kTraceFlagFailed);
       req.result.set_exception(
           std::make_exception_ptr(Error("batch failed: " + work.error)));
     }
@@ -1136,9 +1243,41 @@ void Engine::finalize(BatchWork& work) {
     m.stats.on_requests_done(latencies, met);
     stats_.on_batch(live, m.batcher->lane_capacity());
     m.stats.on_batch(live, m.batcher->lane_capacity());
+    // Phase decomposition from the batch's lifecycle stamps — the same
+    // transitions the trace stream records. Execution ends at the LAST
+    // member's completion stamp; everything is clamped at 0 (a ManualClock
+    // that never advanced yields all-zero phases, not underflow).
+    {
+      std::int64_t exec_done_us = work.dispatched_at_us;
+      for (const MemberSlot& slot : work.slots) {
+        if (slot.ran && slot.done_at_us > exec_done_us) {
+          exec_done_us = slot.done_at_us;
+        }
+      }
+      const auto clamp_us = [](std::int64_t v) -> std::uint64_t {
+        return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+      };
+      std::vector<std::uint64_t> assembly;
+      assembly.reserve(live);
+      for (const auto& req : work.requests) {
+        if (req.expired) continue;
+        assembly.push_back(clamp_us(work.sealed_at_us - to_us(req.enqueued)));
+      }
+      const std::uint64_t queue_wait =
+          clamp_us(work.dispatched_at_us - work.sealed_at_us);
+      const std::uint64_t execution =
+          clamp_us(exec_done_us - work.dispatched_at_us);
+      const std::uint64_t settle = clamp_us(to_us(now) - exec_done_us);
+      stats_.on_phases(assembly, queue_wait, execution, settle);
+      m.stats.on_phases(assembly, queue_wait, execution, settle);
+    }
     auto per_request = unpack_outputs(work.outputs, work.requests.size());
     for (std::size_t i = 0; i < work.requests.size(); ++i) {
       if (work.requests[i].expired) continue;
+      const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+          now - work.requests[i].enqueued);
+      emit_trace(track, TraceEventType::kRequestDone, m.id, work.requests[i].id,
+                 0, static_cast<std::uint64_t>(latency.count()));
       work.requests[i].result.set_value(std::move(per_request[i]));
     }
   }
@@ -1230,8 +1369,54 @@ ServeReport Engine::report() const {
             : 0.0;
     r.per_model.push_back(std::move(mr));
   }
+  // Unloaded models fold into one persistent row instead of vanishing: the
+  // aggregate of every unload()ed model's full history, under a name no real
+  // model can shadow.
+  bool has_retired = false;
+  ModelReport retired;
+  {
+    std::lock_guard<std::mutex> lk(impl_->models_mu);
+    if (impl_->retired_models > 0) {
+      has_retired = true;
+      retired = impl_->retired_stats.report();
+    }
+  }
+  if (has_retired) {
+    retired.name = "(retired)";
+    retired.weight = 0;       // no scheduler share — these models are gone
+    retired.queue_bound = 0;  // no admission plane either
+    retired.goodput_per_sec =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(retired.deadline_met) / r.wall_seconds
+            : 0.0;
+    r.per_model.push_back(std::move(retired));
+  }
   return r;
 }
+
+void Engine::export_trace(std::ostream& os) {
+  if (!tracer_) {
+    os << "{\"traceEvents\":[],\"otherData\":{\"droppedEvents\":0}}\n";
+    return;
+  }
+  tracer_->export_chrome_trace(os);
+}
+
+std::vector<TraceEvent> Engine::drain_trace() {
+  return tracer_ ? tracer_->drain() : std::vector<TraceEvent>{};
+}
+
+std::uint64_t Engine::trace_dropped() const {
+  return tracer_ ? tracer_->dropped() : 0;
+}
+
+std::string Engine::trace_model_name(std::uint64_t model_id) const {
+  return tracer_ ? tracer_->model_name(model_id) : std::string();
+}
+
+std::string Engine::metrics_prometheus() const { return to_prometheus(report()); }
+
+std::string Engine::metrics_json() const { return to_json(report()); }
 
 void Engine::drain() {
   // Flush-and-wait in a short poll loop: a submitter that won admission

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "runtime/clock.hpp"
 #include "runtime/program_cache.hpp"
 #include "runtime/serve_stats.hpp"
+#include "runtime/trace.hpp"
 
 namespace lbnn::runtime {
 
@@ -138,6 +140,19 @@ struct EngineOptions {
   /// system steady clock; tests inject a ManualClock for deterministic
   /// timing. Must outlive the engine.
   ClockSource* clock = nullptr;
+  /// Request-lifecycle tracing (always compiled, off by default): every
+  /// lifecycle transition — submit, admit/shed, seal, enqueue, dispatch,
+  /// member claim/steal, hedge launch/win/cancel, expiry, finalize — lands as
+  /// a typed event in per-worker bounded ring buffers, timestamped via the
+  /// engine clock (ManualClock tests replay exact sequences). Off, the only
+  /// cost is a null-pointer check per site. See Engine::export_trace /
+  /// drain_trace. The LBNN_FORCE_TRACING environment variable turns this on
+  /// regardless (CI runs the test suites with it to race-check the rings).
+  bool tracing = false;
+  /// Per-ring trace capacity in events (rounded up to a power of two). A
+  /// full ring drops new events and counts them — tracing never blocks or
+  /// backpressures the hot path.
+  std::size_t trace_ring_capacity = 8192;
 };
 
 /// Batched multi-threaded serving engine over the LPU toolchain.
@@ -234,6 +249,30 @@ class Engine {
   void shutdown();
 
   ServeReport report() const;
+
+  /// Render the drained trace stream as Chrome trace-event JSON — loadable
+  /// in chrome://tracing or Perfetto. One track per worker plus a "clients"
+  /// track, member executions as duration slices, flow arrows linking each
+  /// request from submit to completion. Draining consumes the buffered
+  /// events; with tracing off this writes an empty (still valid) trace.
+  void export_trace(std::ostream& os);
+  /// Drain the raw event stream in global emission order (empty when tracing
+  /// is off). The ManualClock determinism tests assert on this directly.
+  std::vector<TraceEvent> drain_trace();
+  /// Events lost to full rings since construction (0 when tracing is off).
+  std::uint64_t trace_dropped() const;
+  bool tracing_enabled() const { return tracer_ != nullptr; }
+  /// Display name for a trace event's model_id; names of unloaded models are
+  /// retained. Empty when tracing is off.
+  std::string trace_model_name(std::uint64_t model_id) const;
+
+  /// report() rendered in Prometheus text exposition format (scrape body);
+  /// metric names are documented in README "Observability". Works with
+  /// tracing off — the counters feed from the stats plane, not the rings.
+  std::string metrics_prometheus() const;
+  /// report() rendered as JSON (same field names as ServeReport).
+  std::string metrics_json() const;
+
   CacheStats cache_stats() const { return cache_.stats(); }
   /// The engine's program cache, exposed for instrumentation (compile hooks
   /// in tests) and operational eviction.
@@ -273,7 +312,9 @@ class Engine {
   struct WorkerContext;
   using MemberHook = std::function<void(const std::string&, std::size_t, bool)>;
 
-  void worker_loop();
+  /// `track` is the worker's trace ring index (1 + worker index; 0 is the
+  /// shared off-worker ring).
+  void worker_loop(std::size_t track);
   void timer_loop();
   ModelHandle register_model(std::shared_ptr<ModelState> state,
                              std::size_t lane_capacity,
@@ -281,7 +322,13 @@ class Engine {
   ModelState* state_of(const ModelHandle& handle) const;
   std::future<std::vector<bool>> dispatch_admitted(ModelState* m,
                                                    std::vector<bool>&& inputs,
-                                                   TimePoint deadline);
+                                                   TimePoint deadline,
+                                                   std::uint64_t req_id);
+  /// Null-check-and-emit: one call per lifecycle transition site. With
+  /// tracing off this is a single branch.
+  void emit_trace(std::size_t track, TraceEventType type, std::uint64_t model_id,
+                  std::uint64_t id, std::uint32_t member = 0,
+                  std::uint64_t arg = 0, std::uint8_t flags = 0);
   /// Execute one copy of a batch member: expired-request settling (first
   /// claimant), simulator run, the atomic result claim (under hedging two
   /// copies of the same member race it; only the winner writes the slot,
@@ -318,10 +365,11 @@ class Engine {
   bool try_hedge_locked(TimePoint now, std::shared_ptr<BatchWork>* work,
                         std::size_t* member, TimePoint* next_due);
   /// Fail already-expired requests of a just-claimed batch (first member
-  /// only); returns whether any live request remains to simulate.
-  bool drop_expired_requests(BatchWork& work);
+  /// only); returns whether any live request remains to simulate. `track` is
+  /// the settling worker's trace ring.
+  bool drop_expired_requests(BatchWork& work, std::size_t track);
   void enqueue_batch(ModelState& model, Batch&& batch);
-  void finalize(BatchWork& work);
+  void finalize(BatchWork& work, std::size_t track);
   void release_requests(std::size_t n);
   /// Keep-alive snapshot of all loaded models (sealing, draining, reporting
   /// happen outside models_mu; an unload cannot free state under us).
@@ -331,6 +379,10 @@ class Engine {
   ClockSource* clock_;  ///< options_.clock or the shared SystemClock
   ProgramCache cache_;
   ServeStats stats_;
+  /// Non-null iff tracing is on (EngineOptions::tracing or
+  /// LBNN_FORCE_TRACING); created before the workers spawn, destroyed after
+  /// they join, so emission sites need no lifetime checks beyond null.
+  std::unique_ptr<Tracer> tracer_;
 
   std::unique_ptr<Impl> impl_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "runtime/serve_stats.hpp"
+
+namespace lbnn::runtime {
+
+/// Render a ServeReport in Prometheus text exposition format (one scrape
+/// body). Metric names are stable and documented in README "Observability":
+/// every `lbnn_*` series maps 1:1 onto a ServeReport field, with per-model
+/// rows becoming a `model="<name>"` label (the persistent retired aggregate
+/// exports as model="(retired)").
+std::string to_prometheus(const ServeReport& report);
+
+/// Render a ServeReport as a JSON object (same field names as the struct, one
+/// "per_model" array). Machine-readable twin of Engine::report() for
+/// dashboards and the bench trajectory harness.
+std::string to_json(const ServeReport& report);
+
+}  // namespace lbnn::runtime

@@ -14,6 +14,11 @@ void LatencyHistogram::record(std::uint64_t micros) {
   ++count_;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+}
+
 std::uint64_t LatencyHistogram::percentile_us(double p) const {
   if (count_ == 0) return 0;
   // Rank of the p-th percentile sample, 1-based, clamped to [1, count].
@@ -87,6 +92,48 @@ void ModelStats::on_hedge_waste(std::uint64_t wasted_us) {
   hedge_wasted_us_ += wasted_us;
 }
 
+void ModelStats::on_phases(const std::vector<std::uint64_t>& assembly_us,
+                           std::uint64_t queue_wait_us, std::uint64_t execution_us,
+                           std::uint64_t finalize_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::uint64_t us : assembly_us) assembly_hist_.record(us);
+  queue_wait_hist_.record(queue_wait_us);
+  execution_hist_.record(execution_us);
+  finalize_hist_.record(finalize_us);
+}
+
+void ModelStats::merge_from(const ModelStats& other) {
+  std::scoped_lock lk(mu_, other.mu_);
+  hist_.merge(other.hist_);
+  assembly_hist_.merge(other.assembly_hist_);
+  queue_wait_hist_.merge(other.queue_wait_hist_);
+  execution_hist_.merge(other.execution_hist_);
+  finalize_hist_.merge(other.finalize_hist_);
+  requests_ += other.requests_;
+  batches_ += other.batches_;
+  samples_ += other.samples_;
+  lanes_offered_ += other.lanes_offered_;
+  if (other.queue_depth_hwm_ > queue_depth_hwm_) queue_depth_hwm_ = other.queue_depth_hwm_;
+  shed_ += other.shed_;
+  expired_ += other.expired_;
+  deadline_met_ += other.deadline_met_;
+  member_runs_ += other.member_runs_;
+  steals_ += other.steals_;
+  hedges_launched_ += other.hedges_launched_;
+  hedge_wins_ += other.hedge_wins_;
+  hedge_wasted_us_ += other.hedge_wasted_us_;
+}
+
+namespace {
+PhaseStats phase_stats(const LatencyHistogram& h) {
+  PhaseStats p;
+  p.p50_us = h.percentile_us(50.0);
+  p.p99_us = h.percentile_us(99.0);
+  p.count = h.count();
+  return p;
+}
+}  // namespace
+
 ModelReport ModelStats::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   ModelReport r;
@@ -108,6 +155,10 @@ ModelReport ModelStats::report() const {
   r.hedges_launched = hedges_launched_;
   r.hedge_wins = hedge_wins_;
   r.hedge_wasted_us = hedge_wasted_us_;
+  r.phases.assembly_wait = phase_stats(assembly_hist_);
+  r.phases.queue_wait = phase_stats(queue_wait_hist_);
+  r.phases.execution = phase_stats(execution_hist_);
+  r.phases.finalize = phase_stats(finalize_hist_);
   return r;
 }
 
@@ -194,6 +245,16 @@ void ServeStats::on_hedge_waste(std::uint64_t wasted_us) {
   hedge_wasted_us_ += wasted_us;
 }
 
+void ServeStats::on_phases(const std::vector<std::uint64_t>& assembly_us,
+                           std::uint64_t queue_wait_us, std::uint64_t execution_us,
+                           std::uint64_t finalize_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::uint64_t us : assembly_us) assembly_hist_.record(us);
+  queue_wait_hist_.record(queue_wait_us);
+  execution_hist_.record(execution_us);
+  finalize_hist_.record(finalize_us);
+}
+
 ServeReport ServeStats::report() const {
   std::lock_guard<std::mutex> lk(mu_);
   ServeReport r;
@@ -223,6 +284,10 @@ ServeReport ServeStats::report() const {
   r.member_p99_us = member_hist_.percentile_us(99.0);
   r.straggler_gap_p50_us = straggler_hist_.percentile_us(50.0);
   r.straggler_gap_p99_us = straggler_hist_.percentile_us(99.0);
+  r.phases.assembly_wait = phase_stats(assembly_hist_);
+  r.phases.queue_wait = phase_stats(queue_wait_hist_);
+  r.phases.execution = phase_stats(execution_hist_);
+  r.phases.finalize = phase_stats(finalize_hist_);
   r.sim = sim_;
   r.sim.lpe_utilization =
       sim_.wavefronts == 0 ? 0.0 : util_weight_ / static_cast<double>(sim_.wavefronts);
@@ -234,6 +299,10 @@ void ServeStats::reset() {
   hist_ = LatencyHistogram{};
   member_hist_ = LatencyHistogram{};
   straggler_hist_ = LatencyHistogram{};
+  assembly_hist_ = LatencyHistogram{};
+  queue_wait_hist_ = LatencyHistogram{};
+  execution_hist_ = LatencyHistogram{};
+  finalize_hist_ = LatencyHistogram{};
   requests_ = batches_ = samples_ = lanes_offered_ = 0;
   shed_ = expired_ = deadline_met_ = 0;
   member_runs_ = steals_ = 0;

@@ -25,10 +25,34 @@ class LatencyHistogram {
   /// Upper bound (us) of the bucket containing the p-th percentile sample
   /// (0 < p <= 100). Returns 0 when the histogram is empty.
   std::uint64_t percentile_us(double p) const;
+  /// Bucket-wise accumulate (exact: both sides use the same log2 buckets).
+  /// Used to fold an unloading model's history into the retired aggregate.
+  void merge(const LatencyHistogram& other);
 
  private:
   std::array<std::uint64_t, 64> buckets_{};
   std::uint64_t count_ = 0;
+};
+
+/// Percentile summary of one lifecycle phase (see PhaseBreakdown).
+struct PhaseStats {
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t count = 0;  ///< samples recorded (requests or batches)
+};
+
+/// Request-latency decomposition by lifecycle phase, derived from the same
+/// transitions the trace stream records, so a p99 regression names the phase
+/// that ate the budget instead of a single end-to-end number:
+///   assembly_wait: request submit -> its batch sealing (request-weighted)
+///   queue_wait:    batch seal -> a worker dispatching it (batch-weighted)
+///   execution:     dispatch -> the batch's last member completing
+///   finalize:      last member done -> futures resolved (settle cost)
+struct PhaseBreakdown {
+  PhaseStats assembly_wait;
+  PhaseStats queue_wait;
+  PhaseStats execution;
+  PhaseStats finalize;
 };
 
 /// Per-model slice of a ServeReport: one row per loaded model, so the
@@ -74,6 +98,8 @@ struct ModelReport {
   /// Execution time burned by losing copies (original or duplicate) whose
   /// result was discarded — the price paid for the tail-latency insurance.
   std::uint64_t hedge_wasted_us = 0;
+  /// Per-phase latency decomposition for this model's traffic.
+  PhaseBreakdown phases;
 };
 
 /// Snapshot of a ServeStats aggregation (all values since construction or the
@@ -115,11 +141,14 @@ struct ServeReport {
   std::uint64_t member_p99_us = 0;
   std::uint64_t straggler_gap_p50_us = 0;
   std::uint64_t straggler_gap_p99_us = 0;
+  /// Per-phase latency decomposition across every model (see PhaseBreakdown).
+  PhaseBreakdown phases;
   /// Simulator counters summed over every member run. lpe_utilization is the
   /// wavefront-weighted mean of the per-run utilizations.
   SimCounters sim;
-  /// One row per currently loaded model (load order). Unloaded models take
-  /// their rows with them; the global aggregates above still include them.
+  /// One row per currently loaded model (load order). Models unloaded since
+  /// startup are folded into one persistent "(retired)" row at the end, so
+  /// metrics spanning an unload or version flip keep their history.
   std::vector<ModelReport> per_model;
 };
 
@@ -146,12 +175,26 @@ class ModelStats {
   /// A losing copy (original or duplicate) finished and discarded `wasted_us`
   /// of execution time.
   void on_hedge_waste(std::uint64_t wasted_us);
+  /// One finalized batch's phase decomposition: per-request assembly waits
+  /// (submit -> seal), then the batch-weighted seal -> dispatch, dispatch ->
+  /// last member, and settle times. See PhaseBreakdown.
+  void on_phases(const std::vector<std::uint64_t>& assembly_us,
+                 std::uint64_t queue_wait_us, std::uint64_t execution_us,
+                 std::uint64_t finalize_us);
+  /// Fold another model's entire history into this one (used by the engine's
+  /// retired-model aggregate on unload). The queue-depth high-water mark takes
+  /// the max; everything else adds.
+  void merge_from(const ModelStats& other);
 
   ModelReport report() const;
 
  private:
   mutable std::mutex mu_;
   LatencyHistogram hist_;
+  LatencyHistogram assembly_hist_;
+  LatencyHistogram queue_wait_hist_;
+  LatencyHistogram execution_hist_;
+  LatencyHistogram finalize_hist_;
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t samples_ = 0;
@@ -196,6 +239,10 @@ class ServeStats {
   void on_members_done(const std::vector<MemberSlot>& slots);
   void on_hedge_launched();
   void on_hedge_waste(std::uint64_t wasted_us);
+  /// One finalized batch's phase decomposition (see ModelStats::on_phases).
+  void on_phases(const std::vector<std::uint64_t>& assembly_us,
+                 std::uint64_t queue_wait_us, std::uint64_t execution_us,
+                 std::uint64_t finalize_us);
 
   ServeReport report() const;
   void reset();
@@ -206,6 +253,10 @@ class ServeStats {
   LatencyHistogram hist_;
   LatencyHistogram member_hist_;
   LatencyHistogram straggler_hist_;
+  LatencyHistogram assembly_hist_;
+  LatencyHistogram queue_wait_hist_;
+  LatencyHistogram execution_hist_;
+  LatencyHistogram finalize_hist_;
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t samples_ = 0;

@@ -990,10 +990,13 @@ TEST(AdmissionV2, OpenBatchCountsTowardDrainEstimate) {
 
 // Deterministic stride-scheduler drain order: one worker, ManualClock (so
 // nothing seals or reorders on real time), three models with weights 3:1:1
-// and standing backlogs. The dispatch hook records the exact dequeue order;
-// stride scheduling must hand out every aligned window of 5 dispatches as
-// {A,A,A,B,C} in some order — and 50 dispatches as exactly 30/10/10. This
-// replaces statistical-tolerance fairness checks with an exact assertion.
+// and standing backlogs. The dequeue order is read from the trace stream's
+// kDispatch events — the canonical sequence every scheduler transition lands
+// in — while the dispatch hook keeps only its gating duty (pinning the
+// worker while the backlogs stage). Stride scheduling must hand out every
+// aligned window of 5 dispatches as {A,A,A,B,C} in some order — and 50
+// dispatches as exactly 30/10/10. This replaces statistical-tolerance
+// fairness checks with an exact assertion.
 TEST(SchedulerV2, StrideDrainOrderMatchesWeightsExactly) {
   ManualClock clock;
   Rng gen(123);
@@ -1001,6 +1004,8 @@ TEST(SchedulerV2, StrideDrainOrderMatchesWeightsExactly) {
   EngineOptions eopt = small_engine(1);
   eopt.batch_timeout = std::chrono::hours(1);  // only lane-full seals
   eopt.clock = &clock;
+  eopt.tracing = true;
+  eopt.trace_ring_capacity = 1 << 14;  // 57 batches of events, no drops
   Engine engine(eopt);
   const std::size_t lanes = 16;
 
@@ -1015,13 +1020,7 @@ TEST(SchedulerV2, StrideDrainOrderMatchesWeightsExactly) {
   const ModelHandle c = engine.load("C", nl, light);
 
   DispatchGate gate;
-  std::mutex order_mu;
-  std::vector<std::string> order;
-  engine.set_dispatch_hook([&](const std::string& name) {
-    {
-      std::lock_guard<std::mutex> lk(order_mu);
-      order.push_back(name);
-    }
+  engine.set_dispatch_hook([&](const std::string&) {
     gate.wait_if_armed();  // pin the worker on its first dispatch
   });
 
@@ -1041,7 +1040,14 @@ TEST(SchedulerV2, StrideDrainOrderMatchesWeightsExactly) {
   engine.drain();
   engine.set_dispatch_hook(nullptr);
 
-  std::lock_guard<std::mutex> lk(order_mu);
+  // The dequeue order, replayed from the event stream.
+  EXPECT_EQ(engine.trace_dropped(), 0u);
+  std::vector<std::string> order;
+  for (const TraceEvent& ev : engine.drain_trace()) {
+    if (ev.type == TraceEventType::kDispatch) {
+      order.push_back(engine.trace_model_name(ev.model_id));
+    }
+  }
   ASSERT_GE(order.size(), 51u);
   EXPECT_EQ(order[0], "A");  // the pinned pre-backlog dispatch
   // The 50 dispatches after the gate: exactly 3:1:1.
