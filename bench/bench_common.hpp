@@ -7,8 +7,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baselines/lpu_throughput.hpp"
+#include "common/rng.hpp"
 #include "nn/model_zoo.hpp"
 
 namespace lbnn::bench {
@@ -53,6 +55,49 @@ inline std::string fps_str(double fps) {
 inline void print_rule(std::size_t width) {
   std::cout << std::string(width, '-') << "\n";
 }
+
+/// Deterministic Zipf-distributed index picker for serving-mix workloads:
+/// P(k) proportional to 1 / (k + 1)^s over k in [0, n) — index 0 is the most
+/// popular model, exactly the skew real multi-tenant serving shows. Built on
+/// lbnn::Rng so every platform and standard library draws the same stream
+/// (std::discrete_distribution is not reproducible across libstdc++/libc++).
+/// The CDF is precomputed once; pick() is a binary search.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, double s) : cdf_(n == 0 ? 1 : n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against rounding: pick() can never fall off
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Theoretical probability of index k.
+  double probability(std::size_t k) const {
+    return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+  }
+
+  std::size_t pick(Rng& rng) const {
+    const double u = rng.next_double();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(index <= k)
+};
 
 /// Append one machine-readable result line (JSONL) to the file named by the
 /// LBNN_BENCH_JSON environment variable; a no-op when it is unset, so plain

@@ -39,6 +39,7 @@ BENCHES = [
     ("serve_overload", ["200"]),
     ("serve_stealing", ["30"]),
     ("serve_hedging", ["30"]),
+    ("serve_sharding", ["200"]),
 ]
 
 
@@ -93,6 +94,13 @@ def run_benches(build_dir):
 def compare(old_doc, new_doc, tolerance):
     """Return a list of human-readable regression strings (empty == clean)."""
     regressions = []
+    # A bench added since the baseline was cut has nothing to regress
+    # against: new-bench = not-measured, warn and move on (the next baseline
+    # regeneration picks it up). Only a bench that VANISHED from the run is a
+    # regression, handled below.
+    for bench in new_doc["benches"]:
+        if bench not in old_doc.get("benches", {}):
+            print(f"[run_all] NEW {bench}: not in baseline, skipping compare")
     for bench, old in old_doc.get("benches", {}).items():
         new = new_doc["benches"].get(bench)
         if new is None:

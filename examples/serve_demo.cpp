@@ -5,13 +5,19 @@
 // LpuSimulator synchronously with hand-packed words — here the runtime does
 // the packing, batching, weighted-fair dispatch, and lifecycle.
 //
-//   $ ./serve_demo [--trace out.json] [--prometheus] [--metrics-json]
+//   $ ./serve_demo [--shards N] [--trace out.json] [--prometheus]
+//                  [--metrics-json]
 //
 // --trace FILE turns the engine's request-lifecycle tracing on and writes a
 // Chrome trace-event JSON to FILE (open it in chrome://tracing or Perfetto).
 // --prometheus / --metrics-json print the same ServeReport in scrape-able
-// formats (see README "Observability").
+// formats (see README "Observability"). --shards N runs the same traffic
+// through an N-shard Router instead of a single Engine: the models replicate
+// across shards, dispatch is power-of-two-choices, and the summary becomes a
+// fleet report with one row per shard (trace/metrics output is then
+// shard-labelled).
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -21,6 +27,7 @@
 
 #include "netlist/random_circuits.hpp"
 #include "netlist/simulate.hpp"
+#include "router/router.hpp"
 #include "runtime/engine.hpp"
 
 namespace {
@@ -49,6 +56,107 @@ lbnn::Netlist build_adder() {
   return nl;
 }
 
+// The --shards demo: the same adder + grid traffic through an N-shard
+// Router. Shows replica sets (the adder runs on two shards), p2c dispatch,
+// a manual scale-up, and the aggregated fleet report with per-shard rows.
+int run_sharded(std::size_t num_shards, const std::string& trace_path,
+                bool print_prometheus) {
+  using namespace lbnn;
+  using namespace lbnn::runtime;
+
+  const Netlist adder_nl = build_adder();
+  Rng gen(3);
+  const Netlist grid_nl = reconvergent_grid(10, 5, gen);
+
+  router::RouterOptions ropt;
+  ropt.num_shards = num_shards;
+  ropt.engine.num_workers = 1;  // per shard: the shards are the parallelism
+  ropt.engine.batch_timeout = std::chrono::microseconds(200);
+  ropt.engine.compile.lpu.m = 8;
+  ropt.engine.compile.lpu.n = 8;
+  ropt.engine.tracing = !trace_path.empty();
+  ropt.initial_replicas = 2;  // each model starts on two shards
+  router::Router router(ropt);
+
+  ModelOptions adder_opt;
+  adder_opt.weight = 4;
+  const router::RoutedHandle adder = router.load("adder4", adder_nl, adder_opt);
+  ModelOptions grid_opt;
+  grid_opt.queue_bound = 32;
+  const router::RoutedHandle grid = router.load("grid", grid_nl, grid_opt);
+  std::cout << num_shards << "-shard router; adder4 replicas on shards {";
+  for (std::size_t s : router.replica_shards(adder)) std::cout << " " << s;
+  std::cout << " }, grid on {";
+  for (std::size_t s : router.replica_shards(grid)) std::cout << " " << s;
+  std::cout << " }\n";
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(router.submit(adder, std::vector<bool>(8, i % 2 != 0)));
+  }
+  unsigned grid_accepted = 0;
+  for (int i = 0; i < 32; ++i) {
+    std::future<std::vector<bool>> fut;
+    if (router.try_submit(grid, std::vector<bool>(grid_nl.num_inputs()),
+                          &fut) == SubmitStatus::kAccepted) {
+      ++grid_accepted;
+      futs.push_back(std::move(fut));
+    }
+  }
+  // Manual elasticity: grow the adder onto every shard mid-traffic. A later
+  // set_replicas back down would drain the retiring copy without dropping
+  // anything (see bench/serve_sharding's scripted cycle).
+  router.set_replicas(adder, num_shards);
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(router.submit(adder, std::vector<bool>(8, i % 2 == 0)));
+  }
+  for (auto& f : futs) f.get();
+  router.drain();
+  std::cout << "adder4 grew to " << router.replicas(adder)
+            << " replicas; served " << futs.size() << " requests ("
+            << grid_accepted << " grid)\n";
+
+  const router::FleetReport fleet = router.report();
+  std::cout << "\n" << std::left << std::setw(8) << "shard" << std::right
+            << std::setw(9) << "reqs" << std::setw(9) << "batches"
+            << std::setw(9) << "p50us" << std::setw(9) << "p99us"
+            << std::setw(7) << "occ%" << std::setw(6) << "shed"
+            << std::setw(10) << "goodput/s" << "\n";
+  for (std::size_t s = 0; s < fleet.per_shard.size(); ++s) {
+    const ServeReport& r = fleet.per_shard[s];
+    std::cout << std::left << std::setw(8) << s << std::right << std::setw(9)
+              << r.requests << std::setw(9) << r.batches << std::setw(9)
+              << r.p50_latency_us << std::setw(9) << r.p99_latency_us
+              << std::setw(7) << static_cast<int>(r.lane_occupancy * 100)
+              << std::setw(6) << r.shed << std::setw(10)
+              << static_cast<long long>(r.goodput_per_sec) << "\n";
+  }
+  const ServeReport& t = fleet.total;
+  std::cout << std::left << std::setw(8) << "fleet" << std::right
+            << std::setw(9) << t.requests << std::setw(9) << t.batches
+            << std::setw(9) << t.p50_latency_us << std::setw(9)
+            << t.p99_latency_us << std::setw(7)
+            << static_cast<int>(t.lane_occupancy * 100) << std::setw(6)
+            << t.shed << std::setw(10)
+            << static_cast<long long>(t.goodput_per_sec) << "\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    router.export_trace(os);
+    std::cout << "\nwrote fleet Chrome trace to " << trace_path
+              << " (one process per shard)\n";
+  }
+  if (print_prometheus) {
+    std::cout << "\n--- prometheus (shard-labelled) ---\n"
+              << router.metrics_prometheus();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +166,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool print_prometheus = false;
   bool print_metrics_json = false;
+  long shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
@@ -65,11 +174,17 @@ int main(int argc, char** argv) {
       print_prometheus = true;
     } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
       print_metrics_json = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atol(argv[++i]);
     } else {
-      std::cerr << "usage: serve_demo [--trace out.json] [--prometheus] "
-                   "[--metrics-json]\n";
+      std::cerr << "usage: serve_demo [--shards N] [--trace out.json] "
+                   "[--prometheus] [--metrics-json]\n";
       return 2;
     }
+  }
+  if (shards > 0) {
+    return run_sharded(static_cast<std::size_t>(shards), trace_path,
+                       print_prometheus);
   }
 
   const Netlist adder_nl = build_adder();

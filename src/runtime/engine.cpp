@@ -89,6 +89,13 @@ bool deadline_unmeetable(TimePoint deadline, TimePoint now,
   return now + std::chrono::microseconds(drain_us) > deadline;
 }
 
+std::uint64_t ModelProbe::drain_estimate_us() const {
+  if (ewma_item_us == 0) return 0;  // no service signal: nothing to estimate
+  const std::size_t w = workers == 0 ? 1 : workers;
+  const std::size_t items = queued_items + members;
+  return ewma_item_us * ((items + w - 1) / w);
+}
+
 /// One sealed batch in flight. Its assembly members are claimed one at a
 /// time from `next_member` — by the worker that dequeued the batch and, when
 /// member stealing is on, by idle workers picking it off Impl::stealable.
@@ -438,6 +445,23 @@ std::vector<std::shared_ptr<ModelState>> Engine::model_snapshot() const {
   for (const auto& [id, state] : impl_->registry) out.push_back(state);
   return out;
 }
+
+ModelProbe Engine::probe(const ModelHandle& model) const {
+  ModelState* m = state_of(model);
+  ModelProbe p;
+  p.loaded = m->accepting.load();
+  p.queued_items = m->queued_items.load(std::memory_order_relaxed);
+  p.members = m->members.size();
+  p.ewma_item_us = m->ewma_item_us.load(std::memory_order_relaxed);
+  p.workers = workers_.size();
+  {
+    std::lock_guard<std::mutex> lk(m->mu);
+    p.outstanding = m->outstanding;
+  }
+  return p;
+}
+
+std::size_t Engine::in_flight() const { return impl_->in_flight.load(); }
 
 std::size_t Engine::num_models() const {
   std::lock_guard<std::mutex> lk(impl_->models_mu);
@@ -1400,6 +1424,14 @@ void Engine::export_trace(std::ostream& os) {
     return;
   }
   tracer_->export_chrome_trace(os);
+}
+
+std::uint64_t Engine::export_trace_events(std::ostream& os, int pid,
+                                          const std::string& process_name,
+                                          bool* first) {
+  if (!tracer_) return 0;
+  tracer_->export_chrome_events(os, pid, process_name, *first);
+  return tracer_->dropped();
 }
 
 std::vector<TraceEvent> Engine::drain_trace() {

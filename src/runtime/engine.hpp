@@ -60,6 +60,25 @@ bool deadline_unmeetable(TimePoint deadline, TimePoint now,
                          std::uint64_t ewma_item_us, std::size_t items_ahead,
                          std::size_t workers);
 
+/// Read-only admission-plane snapshot of one loaded model, for routing layers
+/// (see src/router/): the same counters admission shedding keys off, sampled
+/// from the atomics the submit path maintains (plus one short lock for
+/// `outstanding`) — never the scheduler lock. A router compares
+/// drain_estimate_us() across replicas instead of re-deriving its own EWMA.
+struct ModelProbe {
+  bool loaded = false;             ///< false once unload() began on the model
+  std::size_t queued_items = 0;    ///< unclaimed member items in sealed batches
+  std::size_t outstanding = 0;     ///< accepted, not yet answered requests
+  std::size_t members = 0;         ///< assembly width (work items per batch)
+  std::uint64_t ewma_item_us = 0;  ///< per-item service EWMA (0 = no signal)
+  std::size_t workers = 0;         ///< the engine's worker-thread count
+  /// Best-case drain time (us) of the work a new request would queue behind —
+  /// the exact quantity admission shedding tests against the deadline (see
+  /// deadline_unmeetable): ewma * ceil((queued_items + members) / workers).
+  /// 0 when the model has no service signal yet.
+  std::uint64_t drain_estimate_us() const;
+};
+
 struct ModelState;  // internal; defined in engine.cpp
 
 /// Ref-counted reference to a model loaded into an Engine. Copyable and
@@ -256,6 +275,15 @@ class Engine {
   /// request from submit to completion. Draining consumes the buffered
   /// events; with tracing off this writes an empty (still valid) trace.
   void export_trace(std::ostream& os);
+  /// Events-only form for multiplexing several engines into one Chrome trace:
+  /// appends this engine's drained events to an already-open traceEvents
+  /// array, tagging every event with `pid` (the Router renders each shard as
+  /// its own process, named `process_name`). `*first` is the caller's
+  /// comma-separator state, shared across engines. Returns the events dropped
+  /// by this engine's rings; a no-op returning 0 with tracing off.
+  std::uint64_t export_trace_events(std::ostream& os, int pid,
+                                    const std::string& process_name,
+                                    bool* first);
   /// Drain the raw event stream in global emission order (empty when tracing
   /// is off). The ManualClock determinism tests assert on this directly.
   std::vector<TraceEvent> drain_trace();
@@ -272,6 +300,14 @@ class Engine {
   std::string metrics_prometheus() const;
   /// report() rendered as JSON (same field names as ServeReport).
   std::string metrics_json() const;
+
+  /// Sample a model's admission-plane counters (see ModelProbe). Throws on an
+  /// empty or foreign handle, like submit() does; probing an unloaded model is
+  /// fine (loaded == false, counters drain toward zero).
+  ModelProbe probe(const ModelHandle& model) const;
+  /// Accepted-but-unanswered requests across every model — a cheap
+  /// whole-engine load signal for replica-placement decisions.
+  std::size_t in_flight() const;
 
   CacheStats cache_stats() const { return cache_.stats(); }
   /// The engine's program cache, exposed for instrumentation (compile hooks

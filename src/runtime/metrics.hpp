@@ -1,10 +1,20 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "runtime/serve_stats.hpp"
 
 namespace lbnn::runtime {
+
+/// One labelled report slice of a multi-engine Prometheus exposition: the
+/// Router renders each shard's ServeReport with a shard="<index>" label on
+/// every series. An empty `shard` string means no label (the single-engine
+/// form).
+struct LabelledReport {
+  std::string shard;
+  const ServeReport* report = nullptr;
+};
 
 /// Render a ServeReport in Prometheus text exposition format (one scrape
 /// body). Metric names are stable and documented in README "Observability":
@@ -12,6 +22,12 @@ namespace lbnn::runtime {
 /// rows becoming a `model="<name>"` label (the persistent retired aggregate
 /// exports as model="(retired)").
 std::string to_prometheus(const ServeReport& report);
+
+/// Multi-shard form (Router::metrics_prometheus): HELP/TYPE once per metric,
+/// then one sample per shard tagged shard="<label>"; per-model series carry
+/// both model and shard labels. One scrape body stays valid exposition —
+/// series differ by label set, metadata is never repeated.
+std::string to_prometheus(const std::vector<LabelledReport>& shards);
 
 /// Render a ServeReport as a JSON object (same field names as the struct, one
 /// "per_model" array). Machine-readable twin of Engine::report() for

@@ -147,15 +147,29 @@ std::vector<std::uint64_t> Tracer::dropped_per_ring() const {
 }
 
 void Tracer::export_chrome_trace(std::ostream& os) {
-  const std::vector<TraceEvent> events = drain();
-  constexpr int kPid = 1;
   os << "{\"traceEvents\":[";
   bool first = true;
+  export_chrome_events(os, /*pid=*/1, /*process_name=*/"", first);
+  os << "\n],\"otherData\":{\"droppedEvents\":" << dropped() << "}}\n";
+}
+
+void Tracer::export_chrome_events(std::ostream& os, int pid,
+                                  const std::string& process_name,
+                                  bool& first) {
+  const std::vector<TraceEvent> events = drain();
+  const int kPid = pid;
   auto sep = [&] {
     if (!first) os << ",";
     first = false;
     os << "\n";
   };
+  if (!process_name.empty()) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kPid
+       << ",\"args\":{\"name\":";
+    write_json_string(os, process_name);
+    os << "}}";
+  }
   // Track metadata: tid 0 is the off-worker "clients" track, 1 + i = worker i.
   for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
     sep();
@@ -230,7 +244,6 @@ void Tracer::export_chrome_trace(std::ostream& os) {
       }
     }
   }
-  os << "\n],\"otherData\":{\"droppedEvents\":" << dropped() << "}}\n";
 }
 
 }  // namespace lbnn::runtime

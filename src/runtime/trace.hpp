@@ -134,6 +134,14 @@ class Tracer {
   /// completion across threads. Drop counts land in otherData.
   void export_chrome_trace(std::ostream& os);
 
+  /// Events-only body of export_chrome_trace: drains and appends this
+  /// tracer's events to an already-open traceEvents array under process id
+  /// `pid` (non-empty `process_name` adds a process_name metadata record, so
+  /// a multi-engine export — the Router's shard-per-process view — labels
+  /// each shard). `first` is the caller's comma-separator state.
+  void export_chrome_events(std::ostream& os, int pid,
+                            const std::string& process_name, bool& first);
+
   std::size_t num_tracks() const { return rings_.size(); }
 
  private:

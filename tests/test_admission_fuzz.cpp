@@ -31,6 +31,7 @@
 #include "core/compiler.hpp"
 #include "lpu/simulator.hpp"
 #include "netlist/random_circuits.hpp"
+#include "router/router.hpp"
 #include "runtime/engine.hpp"
 
 namespace lbnn::runtime {
@@ -235,9 +236,158 @@ void run_fuzz_round(std::uint64_t seed, int num_ops, bool hedging = false) {
   (void)rejected;
 }
 
+/// The same lifecycle-churn property test one layer up: a 2-shard Router
+/// with p2c dispatch, replica scaling (set_replicas up/down mid-traffic),
+/// scripted rebalancer ticks, and generation-named reloads. The promises are
+/// the fleet-level versions of the engine round's: every accepted future
+/// resolves bit-exactly, and the FLEET books close — total requests equal
+/// accepted with zero shed/expired (no deadlines in play), per-shard rows
+/// summing exactly to the total. Replica retires and unloads drain, so
+/// lifecycle churn can never strand or drop an accepted request.
+void run_router_fuzz_round(std::uint64_t seed, int num_ops) {
+  Rng circuits(900 + seed);
+  std::vector<Netlist> nls;
+  for (int i = 0; i < kModels; ++i) {
+    if (i == kParallelModel) {
+      RandomCircuitSpec spec;
+      spec.num_inputs = 10;
+      spec.num_gates = 80;
+      spec.num_outputs = 6;
+      nls.push_back(random_dag(spec, circuits));
+    } else {
+      nls.push_back(reconvergent_grid(8, 4 + i, circuits));
+    }
+  }
+  const CompileOptions copt = small_lpu();
+  std::vector<CompileResult> compiled;
+  std::vector<LpuSimulator> sims;
+  compiled.reserve(kModels);
+  for (int i = 0; i < kModels; ++i) compiled.push_back(compile(nls[i], copt));
+  sims.reserve(kModels);
+  for (int i = 0; i < kModels; ++i) sims.emplace_back(compiled[i].program);
+
+  router::RouterOptions ropt;
+  ropt.num_shards = 2;
+  ropt.initial_replicas = 1;
+  ropt.engine.num_workers = 1;
+  ropt.engine.batch_timeout = std::chrono::microseconds(50);
+  ropt.engine.compile = copt;
+  router::Router router(ropt);
+
+  std::vector<router::RoutedHandle> handles(kModels);
+  std::vector<int> generation(kModels, 0);
+  const auto ensure_loaded = [&](int i) {
+    if (handles[i] && handles[i].loaded()) return;
+    ModelOptions mopt;
+    mopt.queue_bound = 48;
+    mopt.weight = static_cast<std::uint32_t>(1 + i);
+    const std::string name =
+        "m" + std::to_string(i) + "-g" + std::to_string(++generation[i]);
+    handles[i] =
+        i == kParallelModel
+            ? router.load_parallel(name, nls[i], kParallelMembers, mopt)
+            : router.load(name, nls[i], mopt);
+  };
+  for (int i = 0; i < kModels; ++i) ensure_loaded(i);
+
+  Rng rng(seed);
+  std::vector<PendingRequest> pending;
+  std::uint64_t accepted = 0;
+
+  for (int op = 0; op < num_ops; ++op) {
+    const int model = static_cast<int>(rng.next_below(kModels));
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 40) {
+      ensure_loaded(model);
+      std::vector<bool> bits(nls[model].num_inputs());
+      for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+      try {
+        auto fut = router.submit(handles[model], bits);
+        pending.push_back({model, std::move(bits), std::move(fut)});
+        ++accepted;
+      } catch (const Error&) {
+      }
+    } else if (dice < 80) {
+      ensure_loaded(model);
+      std::vector<bool> bits(nls[model].num_inputs());
+      for (std::size_t pi = 0; pi < bits.size(); ++pi) bits[pi] = rng.next_bool();
+      std::future<std::vector<bool>> fut;
+      const SubmitStatus st = router.try_submit(handles[model], bits, &fut);
+      if (st == SubmitStatus::kAccepted) {
+        pending.push_back({model, std::move(bits), std::move(fut)});
+        ++accepted;
+      } else {
+        EXPECT_FALSE(fut.valid());
+      }
+    } else if (dice < 86) {
+      // Replica scaling under live traffic: scale-down retires (drains, never
+      // drops), scale-up compiles onto the vacant shard.
+      if (handles[model] && handles[model].loaded()) {
+        router.set_replicas(handles[model],
+                            1 + static_cast<std::size_t>(rng.next_below(2)));
+      }
+    } else if (dice < 90) {
+      router.unload(handles[model]);
+    } else if (dice < 94) {
+      router.drain();
+    } else if (dice < 97) {
+      // A scripted rebalancer tick: with no deadlines there are no sheds, so
+      // the only possible action is an idle retire — which must also drain.
+      router.rebalance_now();
+    } else {
+      if (handles[model] && !handles[model].loaded()) {
+        std::future<std::vector<bool>> fut;
+        const SubmitStatus st = router.try_submit(
+            handles[model], std::vector<bool>(nls[model].num_inputs()), &fut);
+        EXPECT_EQ(st, SubmitStatus::kUnloaded);
+      }
+    }
+  }
+
+  router.drain();
+
+  std::uint64_t resolved = 0;
+  for (auto& req : pending) {
+    ASSERT_EQ(req.future.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "accepted future left unresolved (router seed " << seed << ")";
+    try {
+      const std::vector<bool> got = req.future.get();
+      const std::vector<bool> want =
+          direct_run(sims[req.model], nls[req.model], req.inputs);
+      EXPECT_EQ(got, want) << "bit mismatch, model " << req.model
+                           << " router seed " << seed;
+    } catch (const Error&) {
+    }
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, accepted);
+
+  // Fleet books: routing and rebalancing add placement, never accounting.
+  // Whatever shard each request landed on, the totals close and the
+  // per-shard rows sum to them exactly.
+  const router::FleetReport rep = router.report();
+  EXPECT_EQ(rep.total.requests, accepted);
+  EXPECT_EQ(rep.total.deadline_met, accepted);
+  EXPECT_EQ(rep.total.shed, 0u);
+  EXPECT_EQ(rep.total.expired, 0u);
+  EXPECT_EQ(rep.total.samples, accepted);
+  ASSERT_EQ(rep.per_shard.size(), 2u);
+  EXPECT_EQ(rep.per_shard[0].requests + rep.per_shard[1].requests,
+            rep.total.requests);
+  EXPECT_EQ(rep.per_shard[0].samples + rep.per_shard[1].samples,
+            rep.total.samples);
+}
+
 TEST(AdmissionFuzz, Seed1) { run_fuzz_round(1, 400); }
 TEST(AdmissionFuzz, Seed2) { run_fuzz_round(2, 400); }
 TEST(AdmissionFuzz, Seed3) { run_fuzz_round(3, 400); }
+
+// The fleet-level round: the op stream runs against a 2-shard Router under
+// p2c dispatch, replica scaling, and scripted rebalancer ticks — same
+// resolution/bit-exactness/closed-books promises, now across shards.
+TEST(AdmissionFuzz, RouterSeed1) { run_router_fuzz_round(21, 300); }
+TEST(AdmissionFuzz, RouterSeed2) { run_router_fuzz_round(22, 300); }
 
 // The same op stream with speculative hedging enabled: duplicates of
 // straggling members race their originals under unload/evict/drain churn,
