@@ -40,6 +40,7 @@ BENCHES = [
     ("serve_stealing", ["30"]),
     ("serve_hedging", ["30"]),
     ("serve_sharding", ["200"]),
+    ("serve_simd", ["200"]),
 ]
 
 
@@ -107,10 +108,19 @@ def compare(old_doc, new_doc, tolerance):
             regressions.append(f"{bench}: present in baseline but not re-run")
             continue
         o_p99, n_p99 = old.get("p99_us", 0), new.get("p99_us", 0)
-        if o_p99 > 0 and n_p99 > 0 and n_p99 > o_p99 * (1 + tolerance):
+        # Engine p99s come from octave-bucketed histograms (1023, 2047,
+        # 4095, ... us), so a single bucket of run-to-run jitter reads as
+        # +100% — more than any sane tolerance. Only flag a p99 that is
+        # both past the tolerance AND more than one bucket above baseline
+        # (n > 2*o + 1); sample-exact p99s (serve_simd, steal/hedge) are
+        # still caught once they double, and the goodput check below stays
+        # at the plain tolerance either way.
+        if (o_p99 > 0 and n_p99 > 0 and n_p99 > o_p99 * (1 + tolerance)
+                and n_p99 > 2 * o_p99 + 1):
             regressions.append(
                 f"{bench}: p99 {o_p99:.0f} -> {n_p99:.0f} us "
-                f"(+{100 * (n_p99 / o_p99 - 1):.1f}% > {100 * tolerance:.0f}%)"
+                f"(+{100 * (n_p99 / o_p99 - 1):.1f}% > {100 * tolerance:.0f}% "
+                f"and > one octave bucket)"
             )
         o_gp = old.get("goodput_per_sec", 0)
         n_gp = new.get("goodput_per_sec", 0)

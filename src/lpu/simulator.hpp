@@ -23,6 +23,25 @@ struct SimCounters {
   double lpe_utilization = 0.0;
 };
 
+/// Which gate-evaluation kernel a simulator instance executes with.
+///
+/// The three kernels are bit-exact by contract (tests/test_simd_diff.cpp is
+/// the differential harness enforcing it); they differ only in how many batch
+/// samples one gate evaluation touches and where the per-gate operands live:
+///
+///   kScalar  the original BitVec-at-a-time interpreter — one heap-backed
+///            BitVec per register slot, eval_lut_into() per gate. Kept as the
+///            bit-exactness oracle, the same baseline pattern as
+///            member_stealing=false / hedging=false.
+///   kWord64  bit-sliced: all datapath rows live in one flat scratch arena of
+///            packed 64-bit words and each gate op evaluates 64 batch samples
+///            per word with zero per-gate allocations. Portable fallback.
+///   kAvx2    kWord64's loop vectorized 4 words (256 samples) at a time with
+///            AVX2, selected by runtime CPU detection on x86.
+enum class SimdKernel : std::uint8_t { kScalar, kWord64, kAvx2 };
+
+const char* to_string(SimdKernel k);
+
 /// Cycle-level simulator of the LPU of Sec. IV.
 ///
 /// Models: per-LPE snapshot registers with hold semantics, the non-blocking
@@ -37,9 +56,18 @@ struct SimCounters {
 /// (feedback read-after-write across passes) are checked against absolute
 /// macro-cycle times and raise SimError when a program would have raced in
 /// real hardware.
+///
+/// Execution kernels: by default (`simd` = true) runs bit-sliced — gate
+/// evaluation operates on packed 64-bit words across the full batch width in
+/// a flat scratch arena, AVX2 when the CPU has it (see SimdKernel). `simd` =
+/// false keeps the original scalar BitVec interpreter, which survives as the
+/// bit-exactness oracle for the differential tests. Environment overrides
+/// (read at construction): LBNN_FORCE_SCALAR forces the scalar kernel
+/// regardless of `simd`, LBNN_NO_AVX2 pins the bit-sliced path to the
+/// portable word-at-a-time loop — CI builds both legs.
 class LpuSimulator {
  public:
-  explicit LpuSimulator(const Program& program);
+  explicit LpuSimulator(const Program& program, bool simd = true);
 
   /// Run one batch. `inputs` holds one BitVec per primary input; all widths
   /// must be equal (each bit lane is an independent sample; the paper's
@@ -49,11 +77,23 @@ class LpuSimulator {
   /// true the run throws SimCancelled instead of finishing. All run state is
   /// per-call, so a cancelled simulator is immediately reusable. The serving
   /// runtime's speculative hedging passes the member slot's cancel flag here
-  /// so the losing duplicate of a hedged member stops burning cycles.
+  /// so the losing duplicate of a hedged member stops burning cycles. Every
+  /// kernel polls at the same wavefront boundary, so a cancelled run throws
+  /// at the identical point scalar or bit-sliced.
   std::vector<BitVec> run(const std::vector<BitVec>& inputs,
                           const std::atomic<bool>* cancel = nullptr);
 
   const SimCounters& counters() const { return counters_; }
+
+  /// The gate-evaluation kernel this instance resolved to at construction.
+  SimdKernel kernel() const { return kernel_; }
+
+  /// True when this CPU exposes AVX2 (always false off x86).
+  static bool cpu_has_avx2();
+  /// Kernel selection: scalar when `simd_requested` is false or
+  /// LBNN_FORCE_SCALAR is set; otherwise AVX2 when the CPU has it and
+  /// LBNN_NO_AVX2 is unset; otherwise the portable word kernel.
+  static SimdKernel resolve_kernel(bool simd_requested);
 
   /// Hook called once per (wavefront, lpv) with a non-empty instruction;
   /// tests use it to push every route config through the staged switch
@@ -73,13 +113,104 @@ class LpuSimulator {
   void set_route_oracle(RouteOracle oracle) { oracle_ = std::move(oracle); }
 
  private:
+  std::vector<BitVec> run_scalar(const std::vector<BitVec>& inputs,
+                                 const std::atomic<bool>* cancel,
+                                 std::size_t width);
+  std::vector<BitVec> run_sliced(const std::vector<BitVec>& inputs,
+                                 const std::atomic<bool>* cancel,
+                                 std::size_t width);
+  std::vector<BitVec> run_compiled(const std::vector<BitVec>& inputs,
+                                   const std::atomic<bool>* cancel,
+                                   std::size_t width);
+  /// Staged-switch resolution shared by both kernels (see set_route_oracle).
+  std::vector<std::uint32_t> resolve_staged(const LpvInstr& instr) const;
+  /// Builds the compiled op stream (see SlicedOp) at construction.
+  void compile_sliced();
+
   const Program& prog_;
   SimCounters counters_;
   InstrHook hook_;
   RouteOracle oracle_;
+  SimdKernel kernel_;
+  /// Fused switch delivery in the bit-sliced path (compute results land
+  /// directly in the next LPV's register rows). LBNN_NO_FUSE (read at
+  /// construction) turns it off, materializing lane-output rows like the
+  /// staged-oracle path does — a debug/differential knob.
+  bool fuse_ = true;
+  /// Flat scratch arena of the bit-sliced kernels: every datapath row
+  /// (input buffer, snapshot registers, inter-LPV lane outputs, primary
+  /// outputs, and one always-zero row) is `words_per_row` packed 64-bit
+  /// words. Sized once per (program, width) and reused across runs — the
+  /// hot loop never allocates.
+  std::vector<std::uint64_t> arena_;
+  /// Growable feedback region (rows appended on first write to an address);
+  /// separate from arena_ so growth cannot invalidate hot-loop pointers.
+  std::vector<std::uint64_t> fb_arena_;
+  /// Fused-delivery fanout, decoded once at construction (the program is
+  /// immutable): CSR over (wavefront * n + producer_lpv) * m + lane giving
+  /// the next LPV's register slots that consume the lane's compute result —
+  /// only effective routes (last write to their slot) are listed. Keeps the
+  /// per-gate hot loop free of route-table scans.
+  std::vector<std::uint32_t> fan_off_;
+  std::vector<std::uint32_t> fan_slot_;
+  /// Bit-sliced run scratch sized at construction (program-shaped, width-
+  /// independent), reset cheaply per run instead of reallocated: validity
+  /// flags, the dense feedback tables (offset/write-time per address), and
+  /// output taps bucketed by wavefront.
+  std::vector<char> reg_valid_;
+  std::vector<char> prev_valid_;
+  std::vector<char> cur_valid_;
+  std::vector<char> output_set_;
+  std::vector<std::ptrdiff_t> fb_offset_;
+  std::vector<std::uint64_t> fb_time_;
+  std::vector<std::vector<const OutputTap*>> taps_at_;
+
+  /// One op of the compiled bit-sliced program. Every piece of the
+  /// interpreter's control flow is data-independent (validity, feedback
+  /// read/write ordering, fanout, errors, counters — all functions of the
+  /// immutable program alone), so construction "compiles" the program into a
+  /// flat op stream and the hot loop is a replay: kernel calls and row
+  /// copies, nothing else. Row indices are in row units; the executor scales
+  /// by the per-run word count. Row 0 is the always-zero row.
+  struct SlicedOp {
+    enum Kind : std::uint8_t { kCompute, kCopy, kHook };
+    std::uint32_t a = 0;    ///< kCompute: A row. kCopy: src row. kHook: lpv.
+    std::uint32_t b = 0;    ///< kCompute: B row.
+    std::uint32_t dst = 0;  ///< kCompute / kCopy: destination row.
+    Kind kind = kCompute;
+    std::uint8_t bits = 0;  ///< kCompute: truth table (kernel table index).
+  };
+  /// Exact counter values at a wavefront boundary (and at the compiled
+  /// error's throw point): a cancelled or failed run must report the same
+  /// partial counters the interpreter would have accumulated.
+  struct CounterPrefix {
+    std::uint64_t input_reads = 0;
+    std::uint64_t route_writes = 0;
+    std::uint64_t lpe_computes = 0;
+    std::uint64_t feedback_words = 0;
+  };
+  std::vector<SlicedOp> ops_;
+  std::vector<std::uint32_t> wave_op_end_;  ///< ops_ end per wavefront
+  std::vector<CounterPrefix> counters_at_;  ///< before wavefront w; [W] = final
+  std::uint32_t num_rows_ = 0;              ///< arena rows (zero|in|regs|out|fb)
+  std::uint32_t out_row0_ = 0;              ///< first primary-output row
+  std::uint32_t compiled_waves_ = 0;        ///< wavefronts the stream covers
+  /// A program whose run would throw SimError does so at a fixed point; the
+  /// stream is truncated there and the executor replays the throw (message
+  /// and partial counters included) after the covered wavefronts.
+  bool compiled_error_ = false;
+  std::string compiled_error_msg_;
+  CounterPrefix compiled_error_counters_;
 };
 
 /// Bitwise evaluation of a 2-input LUT over packed words.
 BitVec eval_lut(TruthTable4 lut, const BitVec& a, const BitVec& b);
+
+/// Allocation-free form: evaluates into `out` word by word (no BitVec
+/// temporaries — the scalar oracle path runs on this so oracle-vs-SIMD bench
+/// deltas measure the algorithm, not the allocator). Widths of a, b and out
+/// must match; out may alias a or b.
+void eval_lut_into(TruthTable4 lut, const BitVec& a, const BitVec& b,
+                   BitVec& out);
 
 }  // namespace lbnn

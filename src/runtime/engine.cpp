@@ -1074,7 +1074,7 @@ void Engine::run_member(BatchWork& work, std::size_t member_index, bool stolen,
     };
     try {
       auto& sim = ctx.sims[member.program];
-      if (!sim) sim = std::make_unique<LpuSimulator>(*member.program);
+      if (!sim) sim = std::make_unique<LpuSimulator>(*member.program, options_.simd);
 
       const std::vector<BitVec>* in = &work.inputs;
       std::vector<BitVec> gathered;

@@ -151,6 +151,15 @@ struct EngineOptions {
   /// Straggler threshold: hedge once the last member's running time exceeds
   /// hedge_factor x the per-item service EWMA. 0 is treated as 1.
   std::uint32_t hedge_factor = 4;
+  /// Bit-sliced SIMD member execution: worker simulators run the packed
+  /// word/AVX2 gate kernel (64-256 batch samples per gate op, flat scratch
+  /// arena, runtime CPU dispatch — see lbnn::SimdKernel) instead of the
+  /// BitVec-at-a-time scalar interpreter. Bit-exact either way; false keeps
+  /// the scalar oracle as the baseline for bench/serve_simd, the same
+  /// pattern as member_stealing=false / hedging=false. The
+  /// LBNN_FORCE_SCALAR / LBNN_NO_AVX2 environment overrides apply on top
+  /// (CI's forced-fallback legs).
+  bool simd = true;
   /// ModelOptions::queue_bound fallback when a load leaves it 0; 0 here means
   /// 4x the model's lane capacity (a few batches of headroom).
   std::size_t default_queue_bound = 0;
@@ -268,6 +277,14 @@ class Engine {
   void shutdown();
 
   ServeReport report() const;
+
+  /// Reset the aggregate serving statistics (counters, histograms, exact
+  /// member samples, and the wall-clock origin of requests_per_sec).
+  /// Per-model statistics keep counting. Benches call this after warmup so
+  /// steady-state percentiles are not polluted by one-time construction
+  /// spikes (each worker builds its simulators lazily, inside the timed
+  /// member region, on its first run of a program).
+  void reset_stats() { stats_.reset(); }
 
   /// Render the drained trace stream as Chrome trace-event JSON — loadable
   /// in chrome://tracing or Perfetto. One track per worker plus a "clients"

@@ -198,6 +198,8 @@ std::string to_json(const ServeReport& r) {
   os << "\"hedge_wasted_us\":" << r.hedge_wasted_us << ",";
   os << "\"member_p50_us\":" << r.member_p50_us << ",";
   os << "\"member_p99_us\":" << r.member_p99_us << ",";
+  os << "\"member_p50_exact_us\":" << r.member_p50_exact_us << ",";
+  os << "\"member_p99_exact_us\":" << r.member_p99_exact_us << ",";
   os << "\"straggler_gap_p50_us\":" << r.straggler_gap_p50_us << ",";
   os << "\"straggler_gap_p99_us\":" << r.straggler_gap_p99_us << ",";
   os << "\"phases\":{";

@@ -1,5 +1,7 @@
 #include "runtime/serve_stats.hpp"
 
+#include <algorithm>
+
 #include "common/bits.hpp"
 
 namespace lbnn::runtime {
@@ -225,7 +227,11 @@ void ServeStats::on_members_done(const std::vector<MemberSlot>& slots) {
   if (ran == 0) return;
   std::lock_guard<std::mutex> lk(mu_);
   for (const MemberSlot& slot : slots) {
-    if (slot.ran) member_hist_.record(slot.service_us);
+    if (!slot.ran) continue;
+    member_hist_.record(slot.service_us);
+    if (member_samples_.size() < kMemberSampleCap) {
+      member_samples_.push_back(slot.service_us);
+    }
   }
   member_runs_ += ran;
   steals_ += stolen;
@@ -282,6 +288,17 @@ ServeReport ServeStats::report() const {
   r.hedge_wasted_us = hedge_wasted_us_;
   r.member_p50_us = member_hist_.percentile_us(50.0);
   r.member_p99_us = member_hist_.percentile_us(99.0);
+  if (!member_samples_.empty()) {
+    std::vector<std::uint64_t> sorted(member_samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = [&sorted](double p) {
+      std::size_t r = static_cast<std::size_t>(
+          p / 100.0 * static_cast<double>(sorted.size()));
+      return sorted[r < sorted.size() ? r : sorted.size() - 1];
+    };
+    r.member_p50_exact_us = rank(50.0);
+    r.member_p99_exact_us = rank(99.0);
+  }
   r.straggler_gap_p50_us = straggler_hist_.percentile_us(50.0);
   r.straggler_gap_p99_us = straggler_hist_.percentile_us(99.0);
   r.phases.assembly_wait = phase_stats(assembly_hist_);
@@ -306,6 +323,7 @@ void ServeStats::reset() {
   requests_ = batches_ = samples_ = lanes_offered_ = 0;
   shed_ = expired_ = deadline_met_ = 0;
   member_runs_ = steals_ = 0;
+  member_samples_.clear();
   hedges_launched_ = hedge_wins_ = hedge_wasted_us_ = 0;
   sim_ = SimCounters{};
   util_weight_ = 0.0;

@@ -139,6 +139,16 @@ struct ServeReport {
   std::uint64_t hedge_wasted_us = 0;
   std::uint64_t member_p50_us = 0;
   std::uint64_t member_p99_us = 0;
+  /// Exact (sample-based) member service percentiles, next to the octave-
+  /// bucketed ones above: the histogram is the right dashboard resolution,
+  /// but a speedup gate quantized to powers of two is a coin flip — a true
+  /// 3.5x kernel ratio reads as 2x or 4x depending on where the times land
+  /// relative to bucket edges. Raw samples are kept up to a fixed cap (see
+  /// ServeStats::kMemberSampleCap); past it the exact percentiles describe
+  /// the first cap-many member runs while the histogram stays complete.
+  /// bench/serve_simd gates on these.
+  std::uint64_t member_p50_exact_us = 0;
+  std::uint64_t member_p99_exact_us = 0;
   std::uint64_t straggler_gap_p50_us = 0;
   std::uint64_t straggler_gap_p99_us = 0;
   /// Per-phase latency decomposition across every model (see PhaseBreakdown).
@@ -247,11 +257,16 @@ class ServeStats {
   ServeReport report() const;
   void reset();
 
+  /// Raw member service samples kept for the exact percentiles (8 bytes
+  /// each; recording stops at the cap, the histogram never does).
+  static constexpr std::size_t kMemberSampleCap = 1 << 18;
+
  private:
   mutable std::mutex mu_;
   ClockSource* clock_;
   LatencyHistogram hist_;
   LatencyHistogram member_hist_;
+  std::vector<std::uint64_t> member_samples_;
   LatencyHistogram straggler_hist_;
   LatencyHistogram assembly_hist_;
   LatencyHistogram queue_wait_hist_;

@@ -195,6 +195,137 @@ TEST(LpuSim, RepeatedRunsAreIndependent) {
   EXPECT_EQ(out2, simulate(nl, in2));
 }
 
+// ---- kernel edge cases the scalar-vs-sliced oracle alone can't localize:
+// widths straddling the 64-bit word boundary, degenerate widths, and taps
+// landing in a partial tail word (tests/test_simd_diff.cpp holds the kernels
+// to EACH OTHER; these hold them to the netlist reference at the exact
+// widths where tail masking bugs live).
+
+TEST(LpuSim, NonMultipleOf64Widths) {
+  Rng gen(11);
+  const Netlist nl = reconvergent_grid(10, 5, gen);
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  const CompileResult res = compile(nl, opt);
+  Rng rng(12);
+  for (const std::size_t width : {1u, 63u, 65u, 127u, 129u, 191u}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    const auto in = random_inputs(nl, width, rng);
+    const auto want = simulate(nl, in);
+    for (const bool simd : {false, true}) {
+      LpuSimulator sim(res.program, simd);
+      const auto out = sim.run(in);
+      EXPECT_EQ(out, want);
+      // The kernels' complement terms set bits past the batch width inside
+      // the arena; none may leak into the returned BitVecs.
+      for (const auto& v : out) {
+        ASSERT_EQ(v.width(), width);
+        for (std::size_t w = 0; w < v.num_words(); ++w) {
+          const std::size_t live =
+              std::min<std::size_t>(64, width - 64 * w);
+          const std::uint64_t mask =
+              live == 64 ? ~0ull : ((1ull << live) - 1);
+          EXPECT_EQ(v.word(w) & ~mask, 0u) << "stray tail bits, word " << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(LpuSim, WidthOneBatch) {
+  // A single sample: every word is a tail word.
+  Rng gen(13);
+  RandomCircuitSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 40;
+  spec.num_outputs = 3;
+  const Netlist nl = random_dag(spec, gen);
+  const CompileResult res = compile(nl, CompileOptions{});
+  Rng rng(14);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto in = random_inputs(nl, 1, rng);
+    const auto want = simulate(nl, in);
+    EXPECT_EQ(LpuSimulator(res.program, false).run(in), want);
+    EXPECT_EQ(LpuSimulator(res.program).run(in), want);
+  }
+}
+
+TEST(LpuSim, EmptyInputProgramRunsAtConfiguredWidth) {
+  // No primary inputs: run({}) takes the width from the LPU config. The
+  // program below computes const-1 in LPV0 (a LUT that ignores both of its
+  // invalid-but-ignored operands) and taps it through LPV1.
+  Program p;
+  p.cfg.m = 2;
+  p.cfg.n = 2;
+  p.cfg.word_width = 70;  // deliberately not a multiple of 64
+  p.num_wavefronts = 1;
+  p.num_primary_inputs = 0;
+  p.num_primary_outputs = 1;
+  p.instr.assign(1, std::vector<LpvInstr>(2));
+  p.instr[0][0].computes = {{0, TruthTable4(0xF)}};
+  p.instr[0][1].routes = {{0, {SrcSel::Kind::kPrevLane, 0}}};
+  p.instr[0][1].computes = {{0, TruthTable4::from_op(GateOp::kBuf)}};
+  p.output_taps = {{0, 0, 0}};
+  for (const bool simd : {false, true}) {
+    LpuSimulator sim(p, simd);
+    const auto out = sim.run({});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].width(), p.cfg.effective_word_width());
+    for (std::size_t i = 0; i < out[0].width(); ++i) {
+      EXPECT_TRUE(out[0].get(i)) << "lane " << i;
+    }
+  }
+}
+
+TEST(LpuSim, OutputTapsOnPartialTailWords) {
+  // Outputs whose tap copies land in a partial tail word: width 97 leaves
+  // 33 live bits in word 1. Compare lane-by-lane against the reference at
+  // the exact boundary lanes.
+  Rng gen(15);
+  const Netlist nl = reconvergent_grid(12, 4, gen);
+  CompileOptions opt;
+  opt.lpu.m = 8;
+  opt.lpu.n = 8;
+  const CompileResult res = compile(nl, opt);
+  Rng rng(16);
+  const std::size_t width = 97;
+  const auto in = random_inputs(nl, width, rng);
+  const auto want = simulate(nl, in);
+  const auto out = LpuSimulator(res.program).run(in);
+  ASSERT_EQ(out.size(), want.size());
+  for (std::size_t o = 0; o < out.size(); ++o) {
+    for (const std::size_t lane : {0u, 63u, 64u, 95u, 96u}) {
+      EXPECT_EQ(out[o].get(lane), want[o].get(lane))
+          << "output " << o << " lane " << lane;
+    }
+    EXPECT_EQ(out[o], want[o]);
+  }
+}
+
+TEST(EvalLut, IntoFormMatchesAndSupportsAliasing) {
+  Rng rng(17);
+  const std::size_t width = 130;
+  BitVec a(width), b(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    a.set(i, rng.next_bool());
+    b.set(i, rng.next_bool());
+  }
+  for (int bits = 0; bits < 16; ++bits) {
+    const TruthTable4 lut(static_cast<std::uint8_t>(bits));
+    const BitVec want = eval_lut(lut, a, b);
+    BitVec out(width);
+    eval_lut_into(lut, a, b, out);
+    EXPECT_EQ(out, want) << "lut " << bits;
+    BitVec alias_a = a;  // out aliasing the A operand
+    eval_lut_into(lut, alias_a, b, alias_a);
+    EXPECT_EQ(alias_a, want) << "lut " << bits << " (aliased a)";
+    BitVec alias_b = b;  // out aliasing the B operand
+    eval_lut_into(lut, a, alias_b, alias_b);
+    EXPECT_EQ(alias_b, want) << "lut " << bits << " (aliased b)";
+  }
+}
+
 TEST(EvalLut, AllSixteenFunctions) {
   BitVec a(4), b(4);
   // lanes: (a,b) = (0,0),(1,0),(0,1),(1,1)
