@@ -99,20 +99,41 @@ class ZipfPicker {
   std::vector<double> cdf_;  ///< cdf_[k] = P(index <= k)
 };
 
+/// A bench metric that may be structurally unmeasured. A bench that gates a
+/// property as a ratio (serve_simd, serve_aot) has no absolute p99 worth
+/// tracking; it reports `unmeasured()` and the JSONL line carries
+/// `"p99_us":null,"p99_measured":false` — an explicit shape the comparer
+/// skips structurally, instead of the old 0.0 sentinel that conflated
+/// "not measured" with a value.
+struct OptMetric {
+  double value = 0.0;
+  bool measured = true;
+  OptMetric(double v) : value(v) {}  // NOLINT: implicit by design
+  OptMetric(double v, bool m) : value(v), measured(m) {}
+};
+
+inline OptMetric unmeasured() { return OptMetric(0.0, false); }
+
 /// Append one machine-readable result line (JSONL) to the file named by the
 /// LBNN_BENCH_JSON environment variable; a no-op when it is unset, so plain
 /// interactive runs emit nothing. bench/run_all.py collects the lines into
 /// BENCH_PR<N>.json — the checked-in perf-trajectory file CI diffs against.
-/// A metric a bench cannot measure is reported as 0 and skipped by the
-/// comparer, not guessed.
+/// A metric a bench cannot measure is reported as `unmeasured()` (JSON null)
+/// and skipped by the comparer, not guessed.
 inline void emit_bench_json(const std::string& name, double p50_us,
-                            double p99_us, double goodput_per_sec, bool pass) {
+                            OptMetric p99_us, double goodput_per_sec,
+                            bool pass) {
   const char* path = std::getenv("LBNN_BENCH_JSON");
   if (path == nullptr) return;
   std::ofstream os(path, std::ios::app);
   os << std::fixed << std::setprecision(3) << "{\"bench\":\"" << name
-     << "\",\"p50_us\":" << p50_us << ",\"p99_us\":" << p99_us
-     << ",\"goodput_per_sec\":" << goodput_per_sec
+     << "\",\"p50_us\":" << p50_us << ",\"p99_us\":";
+  if (p99_us.measured) {
+    os << p99_us.value << ",\"p99_measured\":true";
+  } else {
+    os << "null,\"p99_measured\":false";
+  }
+  os << ",\"goodput_per_sec\":" << goodput_per_sec
      << ",\"pass\":" << (pass ? "true" : "false") << "}\n";
 }
 

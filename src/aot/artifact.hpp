@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "lpu/backend.hpp"
+#include "lpu/kernels.hpp"
+#include "lpu/sliced_program.hpp"
+
+namespace lbnn::aot {
+
+/// How to build an artifact. `artifact_dir` must exist and be writable; it
+/// is both the scratch space for codegen and the persistent disk cache —
+/// a later process pointed at the same directory reloads instead of
+/// recompiling (the warm-restart path).
+struct AotOptions {
+  std::string artifact_dir;
+  /// Compile the artifact for AVX2 (auto-vectorized loops; part of the
+  /// content key, so base and AVX2 artifacts coexist in one directory).
+  bool avx2 = false;
+  /// false forces the direct-threaded leg even when a compiler is available
+  /// (LBNN_AOT_THREADED=1 has the same effect; CI pins the leg with it).
+  bool allow_native = true;
+};
+
+/// An AOT-compiled program: either a dlopen'd native shared object
+/// (kAotNative) or the portable direct-threaded fallback (kAotThreaded) used
+/// wherever spawning a compiler is unavailable or fails. Immutable once
+/// built; shared by every executor running the program (executors carry the
+/// per-run arena, the artifact carries only code and the replay-stream
+/// metadata). The embedded SlicedProgram provides the arena layout, counter
+/// prefixes, and error replay for both legs.
+class ProgramArtifact {
+ public:
+  using RunFn = long (*)(std::uint64_t* arena, unsigned long words,
+                         const volatile unsigned char* cancel);
+
+  /// One direct-threaded op: uniform indirect dispatch, kernel resolved at
+  /// build time for both tables (the executor picks word vs AVX2 per run by
+  /// batch width). Row copies ride the same dispatch through the identity
+  /// kernel (truth table 0b1010 = "a", with b pointed at the zero row), so
+  /// the execution loop is a single call shape with no branching on op kind.
+  struct ThreadedOp {
+    kernels::KernelFn word;
+    kernels::KernelFn avx2;  ///< == word off x86
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t dst = 0;
+  };
+
+  BackendKind kind = BackendKind::kAotThreaded;
+  SlicedProgram sliced;
+  std::string key;  ///< content key (also the on-disk base name)
+
+  // Native leg (kind == kAotNative).
+  RunFn run = nullptr;
+  std::string so_path;
+  /// The row width (in 64-bit words) the native code is specialized to —
+  /// constant trip counts and constant row offsets are most of its edge over
+  /// the interpreter. Off-width batches (a partial seal narrower than the
+  /// program's word_width) take the threaded leg below instead.
+  std::uint32_t native_words = 0;
+  /// The artifact was reloaded from disk instead of compiled (warm restart).
+  bool from_disk = false;
+
+  // Threaded leg: always built — it is the whole artifact when kind ==
+  // kAotThreaded, and the off-width fallback when kind == kAotNative.
+  std::vector<ThreadedOp> threaded;
+  std::vector<std::uint32_t> threaded_wave_end;  ///< per covered wavefront
+  /// Native was requested but codegen/compile/dlopen failed; this artifact is
+  /// the threaded fallback (the cache counts these as native_failures).
+  bool native_failed = false;
+
+  ProgramArtifact() = default;
+  ProgramArtifact(ProgramArtifact&&) = default;
+  ProgramArtifact& operator=(ProgramArtifact&&) = default;
+  ProgramArtifact(const ProgramArtifact&) = delete;
+  ProgramArtifact& operator=(const ProgramArtifact&) = delete;
+
+ private:
+  /// RAII dlopen handle: closed when the last shared_ptr to the artifact
+  /// drops, i.e. never while any executor still holds the code mapped.
+  struct DlHandle {
+    void* h = nullptr;
+    DlHandle() = default;
+    explicit DlHandle(void* handle) : h(handle) {}
+    DlHandle(DlHandle&& o) noexcept : h(o.h) { o.h = nullptr; }
+    DlHandle& operator=(DlHandle&& o) noexcept;
+    ~DlHandle();
+  };
+  DlHandle handle_;
+  friend ProgramArtifact compile_artifact(const Program&, const AotOptions&);
+};
+
+/// The compiler the native leg spawns: LBNN_AOT_CXX if set, else the
+/// configure-time compiler CMake baked in, else empty (native unavailable —
+/// every artifact takes the threaded leg).
+std::string aot_compiler();
+
+/// Build (or reload) the artifact for `prog`:
+///   1. If a shared object named by the content key exists in artifact_dir,
+///      dlopen it and verify the embedded key and ABI; a corrupted or
+///      truncated artifact (dlopen failure, missing symbols, key/ABI
+///      mismatch) is unlinked and recompiled — never trusted.
+///   2. Otherwise generate C++, spawn `aot_compiler() -O2 -fPIC -shared`
+///      out of process into a unique temp name, and atomically rename into
+///      place — concurrent builders (two engines sharing the directory)
+///      each publish a complete file; last rename wins with identical bytes.
+///   3. Where native is unavailable (no compiler, LBNN_AOT_THREADED=1,
+///      allow_native=false) or any native step fails, fall back to the
+///      direct-threaded leg built in-process — AOT always succeeds.
+/// Throws only on programmer error (never on a failed native build).
+ProgramArtifact compile_artifact(const Program& prog, const AotOptions& opt);
+
+/// Executes a program through its AOT artifact — the third and fourth
+/// backends behind the ExecutorBackend seam. Byte-exact with the
+/// interpreter by contract: same outputs, same counters (including partial
+/// counters after a cancel), same SimError messages at the same points, and
+/// SimCancelled at identical wavefront boundaries. Single-threaded like
+/// LpuSimulator (owns a per-run arena); the engine keeps one per
+/// (worker, program).
+class AotExecutor : public ExecutorBackend {
+ public:
+  /// `prog` must be the program `artifact` was compiled from (the serving
+  /// engine guarantees it by content key).
+  AotExecutor(const Program& prog,
+              std::shared_ptr<const ProgramArtifact> artifact);
+
+  std::vector<BitVec> run(const std::vector<BitVec>& inputs,
+                          const std::atomic<bool>* cancel = nullptr) override;
+
+  const SimCounters& counters() const override { return counters_; }
+
+  BackendKind backend_kind() const override { return artifact_->kind; }
+
+  const ProgramArtifact& artifact() const { return *artifact_; }
+
+ private:
+  const Program& prog_;
+  std::shared_ptr<const ProgramArtifact> artifact_;
+  SimCounters counters_;
+  std::vector<std::uint64_t> arena_;
+};
+
+}  // namespace lbnn::aot

@@ -1,0 +1,130 @@
+#include "lpu/kernels.hpp"
+
+#include <array>
+#include <utility>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LBNN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace lbnn::kernels {
+
+namespace {
+
+/// Broadcast one truth-table bit to an all-ones/all-zeros 64-bit mask.
+inline std::uint64_t lut_mask(std::uint8_t bits, int idx) {
+  return ((bits >> idx) & 1) ? ~0ull : 0ull;
+}
+
+/// Portable bit-sliced gate kernel: one 64-bit word op evaluates 64 batch
+/// samples. out[w] = LUT(a, b) lane-wise, as a sum of the four minterms
+/// masked by the truth-table bits (bit i of `bits` is the value at
+/// a = i & 1, b = i >> 1).
+void lut_kernel_word(std::uint8_t bits, const std::uint64_t* a,
+                     const std::uint64_t* b, std::uint64_t* out,
+                     std::size_t words) {
+  const std::uint64_t m0 = lut_mask(bits, 0);
+  const std::uint64_t m1 = lut_mask(bits, 1);
+  const std::uint64_t m2 = lut_mask(bits, 2);
+  const std::uint64_t m3 = lut_mask(bits, 3);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t aw = a[w];
+    const std::uint64_t bw = b[w];
+    out[w] = (m0 & ~(aw | bw)) | (m1 & (aw & ~bw)) | (m2 & (~aw & bw)) |
+             (m3 & (aw & bw));
+  }
+}
+
+/// Truth-table-specialized portable kernel: BITS is a compile-time constant,
+/// so the masked-minterm sum constant-folds to the minimal op chain for that
+/// gate (XOR becomes two andnots and an or, AND a single and, ...).
+template <std::uint8_t BITS>
+void lut_kernel_word_t(const std::uint64_t* a, const std::uint64_t* b,
+                       std::uint64_t* out, std::size_t words) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t aw = a[w];
+    const std::uint64_t bw = b[w];
+    std::uint64_t r = 0;
+    if constexpr ((BITS >> 0) & 1) r |= ~(aw | bw);
+    if constexpr ((BITS >> 1) & 1) r |= aw & ~bw;
+    if constexpr ((BITS >> 2) & 1) r |= ~aw & bw;
+    if constexpr ((BITS >> 3) & 1) r |= aw & bw;
+    out[w] = r;
+  }
+}
+
+template <std::size_t... I>
+constexpr std::array<KernelFn, 16> make_word_table(std::index_sequence<I...>) {
+  return {&lut_kernel_word_t<static_cast<std::uint8_t>(I)>...};
+}
+constexpr std::array<KernelFn, 16> kWordKernels =
+    make_word_table(std::make_index_sequence<16>{});
+
+#ifdef LBNN_SIMD_X86
+/// Truth-table-specialized AVX2 kernel: 4 words (256 batch samples) per
+/// iteration, minimal op chain per gate (constant-folded minterm sum), tail
+/// words through the portable loop. Compiled with a target attribute so the
+/// rest of the binary stays baseline-ISA; only ever called after
+/// __builtin_cpu_supports("avx2") said yes.
+template <std::uint8_t BITS>
+__attribute__((target("avx2"))) void lut_kernel_avx2_t(const std::uint64_t* a,
+                                                       const std::uint64_t* b,
+                                                       std::uint64_t* out,
+                                                       std::size_t words) {
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i av =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i bv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    // andnot(x, y) = ~x & y; minterms: ~(a|b), a&~b, ~a&b, a&b.
+    __m256i r = _mm256_setzero_si256();
+    if constexpr ((BITS >> 0) & 1) {
+      const __m256i ones = _mm256_set1_epi64x(-1);
+      r = _mm256_or_si256(r,
+                          _mm256_andnot_si256(_mm256_or_si256(av, bv), ones));
+    }
+    if constexpr ((BITS >> 1) & 1) {
+      r = _mm256_or_si256(r, _mm256_andnot_si256(bv, av));
+    }
+    if constexpr ((BITS >> 2) & 1) {
+      r = _mm256_or_si256(r, _mm256_andnot_si256(av, bv));
+    }
+    if constexpr ((BITS >> 3) & 1) {
+      r = _mm256_or_si256(r, _mm256_and_si256(av, bv));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), r);
+  }
+  if (w < words) lut_kernel_word(BITS, a + w, b + w, out + w, words - w);
+}
+
+template <std::size_t... I>
+constexpr std::array<KernelFn, 16> make_avx2_table(std::index_sequence<I...>) {
+  return {&lut_kernel_avx2_t<static_cast<std::uint8_t>(I)>...};
+}
+constexpr std::array<KernelFn, 16> kAvx2Kernels =
+    make_avx2_table(std::make_index_sequence<16>{});
+#endif  // LBNN_SIMD_X86
+
+}  // namespace
+
+const KernelFn* word_table() { return kWordKernels.data(); }
+
+const KernelFn* avx2_table() {
+#ifdef LBNN_SIMD_X86
+  return kAvx2Kernels.data();
+#else
+  return nullptr;
+#endif
+}
+
+bool cpu_has_avx2() {
+#ifdef LBNN_SIMD_X86
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lbnn::kernels

@@ -10,18 +10,13 @@
 #include "lpu/simulator.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cstdlib>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
-
-#if defined(__x86_64__) || defined(__i386__)
-#define LBNN_SIMD_X86 1
-#include <immintrin.h>
-#endif
+#include "lpu/kernels.hpp"
 
 namespace lbnn {
 
@@ -32,116 +27,9 @@ inline std::uint64_t lut_mask(std::uint8_t bits, int idx) {
   return ((bits >> idx) & 1) ? ~0ull : 0ull;
 }
 
-/// Portable bit-sliced gate kernel: one 64-bit word op evaluates 64 batch
-/// samples. out[w] = LUT(a, b) lane-wise, as a sum of the four minterms
-/// masked by the truth-table bits (bit i of `bits` is the value at
-/// a = i & 1, b = i >> 1).
-void lut_kernel_word(std::uint8_t bits, const std::uint64_t* a,
-                     const std::uint64_t* b, std::uint64_t* out,
-                     std::size_t words) {
-  const std::uint64_t m0 = lut_mask(bits, 0);
-  const std::uint64_t m1 = lut_mask(bits, 1);
-  const std::uint64_t m2 = lut_mask(bits, 2);
-  const std::uint64_t m3 = lut_mask(bits, 3);
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t aw = a[w];
-    const std::uint64_t bw = b[w];
-    out[w] = (m0 & ~(aw | bw)) | (m1 & (aw & ~bw)) | (m2 & (~aw & bw)) |
-             (m3 & (aw & bw));
-  }
-}
-
-/// One bit-sliced gate kernel: (a, b, out, words). The truth table is baked
-/// into the function (see the templates below), so a call is pure loads,
-/// logic ops, and stores — no per-gate mask setup.
-using KernelFn = void (*)(const std::uint64_t*, const std::uint64_t*,
-                          std::uint64_t*, std::size_t);
-
-/// Truth-table-specialized portable kernel: BITS is a compile-time constant,
-/// so the masked-minterm sum constant-folds to the minimal op chain for that
-/// gate (XOR becomes two andnots and an or, AND a single and, ...).
-template <std::uint8_t BITS>
-void lut_kernel_word_t(const std::uint64_t* a, const std::uint64_t* b,
-                       std::uint64_t* out, std::size_t words) {
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t aw = a[w];
-    const std::uint64_t bw = b[w];
-    std::uint64_t r = 0;
-    if constexpr ((BITS >> 0) & 1) r |= ~(aw | bw);
-    if constexpr ((BITS >> 1) & 1) r |= aw & ~bw;
-    if constexpr ((BITS >> 2) & 1) r |= ~aw & bw;
-    if constexpr ((BITS >> 3) & 1) r |= aw & bw;
-    out[w] = r;
-  }
-}
-
-template <std::size_t... I>
-constexpr std::array<KernelFn, 16> make_word_table(std::index_sequence<I...>) {
-  return {&lut_kernel_word_t<static_cast<std::uint8_t>(I)>...};
-}
-constexpr std::array<KernelFn, 16> kWordKernels =
-    make_word_table(std::make_index_sequence<16>{});
-
-#ifdef LBNN_SIMD_X86
-/// Truth-table-specialized AVX2 kernel: 4 words (256 batch samples) per
-/// iteration, minimal op chain per gate (constant-folded minterm sum), tail
-/// words through the portable loop. Compiled with a target attribute so the
-/// rest of the binary stays baseline-ISA; only ever called after
-/// __builtin_cpu_supports("avx2") said yes.
-template <std::uint8_t BITS>
-__attribute__((target("avx2"))) void lut_kernel_avx2_t(const std::uint64_t* a,
-                                                       const std::uint64_t* b,
-                                                       std::uint64_t* out,
-                                                       std::size_t words) {
-  std::size_t w = 0;
-  for (; w + 4 <= words; w += 4) {
-    const __m256i av =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
-    const __m256i bv =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
-    // andnot(x, y) = ~x & y; minterms: ~(a|b), a&~b, ~a&b, a&b.
-    __m256i r = _mm256_setzero_si256();
-    if constexpr ((BITS >> 0) & 1) {
-      const __m256i ones = _mm256_set1_epi64x(-1);
-      r = _mm256_or_si256(r,
-                          _mm256_andnot_si256(_mm256_or_si256(av, bv), ones));
-    }
-    if constexpr ((BITS >> 1) & 1) {
-      r = _mm256_or_si256(r, _mm256_andnot_si256(bv, av));
-    }
-    if constexpr ((BITS >> 2) & 1) {
-      r = _mm256_or_si256(r, _mm256_andnot_si256(av, bv));
-    }
-    if constexpr ((BITS >> 3) & 1) {
-      r = _mm256_or_si256(r, _mm256_and_si256(av, bv));
-    }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), r);
-  }
-  if (w < words) lut_kernel_word(BITS, a + w, b + w, out + w, words - w);
-}
-
-template <std::size_t... I>
-constexpr std::array<KernelFn, 16> make_avx2_table(std::index_sequence<I...>) {
-  return {&lut_kernel_avx2_t<static_cast<std::uint8_t>(I)>...};
-}
-constexpr std::array<KernelFn, 16> kAvx2Kernels =
-    make_avx2_table(std::make_index_sequence<16>{});
-#endif  // LBNN_SIMD_X86
-
 bool env_set(const char* name) {
   const char* v = std::getenv(name);
   return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
-
-/// True when routes[i] is the last write to its register slot within the
-/// instruction — only the last write is observable (the scalar interpreter
-/// applies route writes in order, so earlier writes to the same slot are
-/// dead). Fused switch delivery must honour exactly that.
-bool is_last_slot_writer(const std::vector<RouteWrite>& routes, std::size_t i) {
-  for (std::size_t k = i + 1; k < routes.size(); ++k) {
-    if (routes[k].slot == routes[i].slot) return false;
-  }
-  return true;
 }
 
 }  // namespace
@@ -158,13 +46,7 @@ const char* to_string(SimdKernel k) {
   return "?";
 }
 
-bool LpuSimulator::cpu_has_avx2() {
-#ifdef LBNN_SIMD_X86
-  return __builtin_cpu_supports("avx2") != 0;
-#else
-  return false;
-#endif
-}
+bool LpuSimulator::cpu_has_avx2() { return kernels::cpu_has_avx2(); }
 
 SimdKernel LpuSimulator::resolve_kernel(bool simd_requested) {
   if (!simd_requested || env_set("LBNN_FORCE_SCALAR")) {
@@ -222,307 +104,11 @@ LpuSimulator::LpuSimulator(const Program& program, bool simd)
   for (const auto& tap : prog_.output_taps) {
     taps_at_[tap.wavefront].push_back(&tap);
   }
-  if (!fuse_) return;
 
-  // Decode the fused-delivery fanout once: for each (wavefront, lpv, lane)
-  // compute, which register slots of the next LPV consume it. Routes whose
-  // slot a later route overwrites, or whose source lane is out of range (the
-  // route stage throws before the value could matter), are excluded. The hot
-  // loop then walks a flat CSR instead of re-scanning route tables per gate.
-  const std::uint32_t n = prog_.cfg.n;
-  const std::uint32_t m = prog_.cfg.m;
-  const std::size_t cells =
-      static_cast<std::size_t>(prog_.num_wavefronts) * n * m;
-  fan_off_.assign(cells + 1, 0);
-  for (std::uint32_t w = 0; w < prog_.num_wavefronts; ++w) {
-    for (std::uint32_t j = 1; j < n; ++j) {
-      const auto& routes = prog_.instr[w][j].routes;
-      for (std::size_t i = 0; i < routes.size(); ++i) {
-        const RouteWrite& r = routes[i];
-        if (r.src.kind != SrcSel::Kind::kPrevLane || r.src.index >= m) continue;
-        if (!is_last_slot_writer(routes, i)) continue;
-        const std::size_t cell =
-            (static_cast<std::size_t>(w) * n + (j - 1)) * m + r.src.index;
-        ++fan_off_[cell + 1];
-      }
-    }
-  }
-  for (std::size_t c = 1; c < fan_off_.size(); ++c) fan_off_[c] += fan_off_[c - 1];
-  fan_slot_.resize(fan_off_.back());
-  std::vector<std::uint32_t> cursor(fan_off_.begin(), fan_off_.end() - 1);
-  for (std::uint32_t w = 0; w < prog_.num_wavefronts; ++w) {
-    for (std::uint32_t j = 1; j < n; ++j) {
-      const auto& routes = prog_.instr[w][j].routes;
-      for (std::size_t i = 0; i < routes.size(); ++i) {
-        const RouteWrite& r = routes[i];
-        if (r.src.kind != SrcSel::Kind::kPrevLane || r.src.index >= m) continue;
-        if (!is_last_slot_writer(routes, i)) continue;
-        const std::size_t cell =
-            (static_cast<std::size_t>(w) * n + (j - 1)) * m + r.src.index;
-        fan_slot_[cursor[cell]++] = r.slot;
-      }
-    }
-  }
-
-  compile_sliced();
-}
-
-// -------------------------------------------------------------------------
-// Compile the program into the flat op stream run_compiled replays. The
-// interpreter's entire control flow — register/lane validity, feedback
-// read-after-write ordering, multicast fanout, dead-write elision, SimError
-// conditions, counters — depends only on the immutable program, never on
-// batch data. So it runs HERE, once, and the hot loop degenerates to kernel
-// calls and row copies. The walk below mirrors run_sliced statement for
-// statement; where the interpreter would throw, the stream is truncated and
-// the executor replays the throw at the same point (cancel checks for the
-// covered wavefronts still come first, so a cancel that lands earlier still
-// wins, exactly as in the interpreter).
-//
-// Arena row layout of the compiled stream (row 0 first so operand indices
-// can resolve before the feedback row count is known):
-//   row 0                 always-zero (invalid-but-ignored operands)
-//   [1 ..)                input data buffer rows
-//   [reg0 ..)             snapshot registers, n * 2m rows (lpv major)
-//   [out_row0_ ..)        primary outputs
-//   [fb0 ..)              feedback rows, one per written address, in first-
-//                         write order (the address space is static)
-// Inter-LPV lane rows vanish entirely: a terminal-LPV compute delivers
-// straight into its feedback rows and output rows, everything else into the
-// next LPV's registers via the decoded fanout.
-// -------------------------------------------------------------------------
-void LpuSimulator::compile_sliced() {
-  const std::uint32_t n = prog_.cfg.n;
-  const std::uint32_t m = prog_.cfg.m;
-  const std::uint32_t W = prog_.num_wavefronts;
-  const std::uint32_t num_in = static_cast<std::uint32_t>(prog_.input_layout.size());
-  const std::uint32_t reg0 = 1 + num_in;
-  out_row0_ = reg0 + n * 2 * m;
-  const std::uint32_t fb0 =
-      out_row0_ + static_cast<std::uint32_t>(prog_.num_primary_outputs);
-
-  const std::size_t fb_addrs = static_cast<std::size_t>(W) * m;
-  std::vector<std::int64_t> fb_row(fb_addrs, -1);
-  std::vector<std::uint64_t> fb_time(fb_addrs, 0);
-  std::uint32_t fb_rows = 0;
-
-  std::vector<char> reg_valid(static_cast<std::size_t>(n) * 2 * m, 0);
-  std::vector<char> prev_valid(m, 0);
-  std::vector<char> cur_valid(m, 0);
-  std::vector<char> out_set(prog_.num_primary_outputs, 0);
-  // Producing compute per lane of the previous/current LPV: index into ops_
-  // of the kCompute op, or -1 when the lane was not computed. Terminal-stage
-  // consumers (feedback, taps) append their destination rows to it.
-  std::vector<std::int64_t> cur_op(m, -1);
-
-  CounterPrefix c;
-  ops_.clear();
-  wave_op_end_.assign(W, 0);
-  counters_at_.assign(static_cast<std::size_t>(W) + 1, CounterPrefix{});
-  compiled_error_ = false;
-  compiled_error_msg_.clear();
-  compiled_waves_ = W;
-
-  bool err = false;
-  auto fail = [&](std::string msg) {
-    compiled_error_ = true;
-    compiled_error_msg_ = std::move(msg);
-    compiled_error_counters_ = c;
-    err = true;
-  };
-
-  // Emit a compute: the kernel runs into the first destination row, the
-  // multicast copies the row to the rest. Returns the op index of the
-  // kCompute (or of a sentinel record when the result has no consumer yet —
-  // a terminal-stage consumer may still attach one).
-  auto emit_compute = [&](std::uint8_t bits, std::uint32_t a, std::uint32_t b)
-      -> std::size_t {
-    SlicedOp op;
-    op.kind = SlicedOp::kCompute;
-    op.bits = bits;
-    op.a = a;
-    op.b = b;
-    op.dst = 0;  // patched by the first attach; 0 marks "no consumer yet"
-    ops_.push_back(op);
-    return ops_.size() - 1;
-  };
-  auto attach_dst = [&](std::size_t op_idx, std::uint32_t dst_row) {
-    SlicedOp& op = ops_[op_idx];
-    if (op.dst == 0) {
-      op.dst = dst_row;  // row 0 is the zero row — never a real destination
-      return;
-    }
-    SlicedOp copy;
-    copy.kind = SlicedOp::kCopy;
-    copy.a = op.dst;
-    copy.dst = dst_row;
-    ops_.push_back(copy);
-  };
-
-  for (std::uint32_t w = 0; w < W && !err; ++w) {
-    counters_at_[w] = c;
-    std::fill(prev_valid.begin(), prev_valid.end(), 0);
-    for (std::uint32_t j = 0; j < n && !err; ++j) {
-      const LpvInstr& instr = prog_.instr[w][j];
-      if (!instr.empty()) {
-        SlicedOp hop;
-        hop.kind = SlicedOp::kHook;
-        hop.a = j;
-        ops_.push_back(hop);
-      }
-      char* const valid_j =
-          reg_valid.data() + static_cast<std::size_t>(j) * 2 * m;
-      const std::uint32_t regs_j = reg0 + j * 2 * m;
-
-      // 1. Switch stage. Previous-lane routes were already attached to their
-      // producing compute (the fanout CSR); only input/feedback copies — for
-      // the slot's last writer — become ops.
-      for (std::size_t ri = 0; ri < instr.routes.size() && !err; ++ri) {
-        const RouteWrite& r = instr.routes[ri];
-        switch (r.src.kind) {
-          case SrcSel::Kind::kPrevLane:
-            if (j == 0) {
-              fail("LPV 0 has no predecessor to route from");
-            } else if (r.src.index >= m || !prev_valid[r.src.index]) {
-              fail("route from an invalid previous-LPV lane");
-            }
-            break;
-          case SrcSel::Kind::kInput:
-            if (is_last_slot_writer(instr.routes, ri)) {
-              SlicedOp copy;
-              copy.kind = SlicedOp::kCopy;
-              copy.a = 1 + r.src.index;
-              copy.dst = regs_j + r.slot;
-              ops_.push_back(copy);
-            }
-            ++c.input_reads;
-            break;
-          case SrcSel::Kind::kFeedback:
-            if (r.src.index >= fb_addrs || fb_row[r.src.index] < 0) {
-              fail("feedback read before write (address " +
-                   std::to_string(r.src.index) + ")");
-            } else if (static_cast<std::uint64_t>(w) + j <=
-                       fb_time[r.src.index]) {
-              fail("feedback read would outrun its write in hardware");
-            } else if (is_last_slot_writer(instr.routes, ri)) {
-              SlicedOp copy;
-              copy.kind = SlicedOp::kCopy;
-              copy.a = fb0 + static_cast<std::uint32_t>(fb_row[r.src.index]);
-              copy.dst = regs_j + r.slot;
-              ops_.push_back(copy);
-            }
-            break;
-        }
-        if (err) break;
-        valid_j[r.slot] = 1;
-        ++c.route_writes;
-      }
-      if (err) break;
-
-      // 2. Compute stage.
-      std::fill(cur_valid.begin(), cur_valid.end(), 0);
-      std::fill(cur_op.begin(), cur_op.end(), std::int64_t{-1});
-      for (const ComputeWrite& cw : instr.computes) {
-        const std::size_t slot_a = static_cast<std::size_t>(cw.lane) * 2;
-        if (!cw.lut.ignores_a() && !valid_j[slot_a]) {
-          fail("LPE computes over an invalid A operand");
-          break;
-        }
-        if (!cw.lut.ignores_b() && !valid_j[slot_a + 1]) {
-          fail("LPE computes over an invalid B operand");
-          break;
-        }
-        const std::uint32_t arow =
-            valid_j[slot_a] ? regs_j + static_cast<std::uint32_t>(slot_a) : 0;
-        const std::uint32_t brow =
-            valid_j[slot_a + 1] ? regs_j + static_cast<std::uint32_t>(slot_a) + 1
-                                : 0;
-        cur_valid[cw.lane] = 1;
-        ++c.lpe_computes;
-        cur_op[cw.lane] =
-            static_cast<std::int64_t>(emit_compute(cw.lut.bits() & 0xF, arow, brow));
-        if (j + 1 < n) {
-          const std::size_t cell =
-              (static_cast<std::size_t>(w) * n + j) * m + cw.lane;
-          const std::uint32_t regs_next = regs_j + 2 * m;
-          for (std::uint32_t k = fan_off_[cell]; k < fan_off_[cell + 1]; ++k) {
-            attach_dst(static_cast<std::size_t>(cur_op[cw.lane]),
-                       regs_next + fan_slot_[k]);
-          }
-        }
-      }
-      if (err) break;
-
-      // 3. Terminal LPV: feedback writes and output taps attach their rows
-      // to the producing computes. Delivery then happens during the compute
-      // stage instead of after it — unobservable, the rows are disjoint from
-      // everything this instruction reads.
-      if (j == n - 1) {
-        for (const Lane lane : instr.feedback_writes) {
-          if (!cur_valid[lane]) {
-            fail("feedback write of an invalid lane");
-            break;
-          }
-          const std::uint32_t addr = w * m + lane;
-          if (fb_row[addr] < 0) fb_row[addr] = fb_rows++;
-          fb_time[addr] = static_cast<std::uint64_t>(w) + n - 1;
-          attach_dst(static_cast<std::size_t>(cur_op[lane]),
-                     fb0 + static_cast<std::uint32_t>(fb_row[addr]));
-          ++c.feedback_words;
-        }
-        if (err) break;
-        // Multiple taps of one primary output in the same wavefront: the
-        // interpreter applies them in tap order, so only the last lands.
-        for (std::size_t t = 0; t < taps_at_[w].size() && !err; ++t) {
-          const OutputTap* tap = taps_at_[w][t];
-          if (!cur_valid[tap->lane]) {
-            fail("output tap of an invalid lane");
-            break;
-          }
-          bool last_for_po = true;
-          for (std::size_t t2 = t + 1; t2 < taps_at_[w].size(); ++t2) {
-            if (taps_at_[w][t2]->po_index == tap->po_index) last_for_po = false;
-          }
-          if (last_for_po) {
-            attach_dst(static_cast<std::size_t>(cur_op[tap->lane]),
-                       out_row0_ + tap->po_index);
-          }
-          out_set[tap->po_index] = 1;
-        }
-        if (err) break;
-      }
-      prev_valid.swap(cur_valid);
-    }
-    wave_op_end_[w] = static_cast<std::uint32_t>(ops_.size());
-    if (err) compiled_waves_ = w + 1;
-  }
-
-  if (!err) {
-    counters_at_[W] = c;
-    for (std::size_t po = 0; po < out_set.size(); ++po) {
-      if (!out_set[po]) {
-        fail("primary output " + std::to_string(po) + " never produced");
-        break;
-      }
-    }
-  }
-  // Cull computes that ended with no consumer (dst still 0): the scalar
-  // oracle computes and drops the value — observationally identical, and the
-  // lpe_computes counter above already counted them.
-  std::size_t keep = 0;
-  std::vector<std::uint32_t> remap(ops_.size());
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    remap[i] = static_cast<std::uint32_t>(keep);
-    if (ops_[i].kind == SlicedOp::kCompute && ops_[i].dst == 0) continue;
-    ops_[keep++] = ops_[i];
-  }
-  ops_.resize(keep);
-  for (std::uint32_t w = 0; w < W; ++w) {
-    wave_op_end_[w] = wave_op_end_[w] < remap.size()
-                          ? remap[wave_op_end_[w]]
-                          : static_cast<std::uint32_t>(keep);
-  }
-  num_rows_ = fb0 + fb_rows;
+  // Lower to the compiled replay stream (see sliced_program.hpp); the
+  // staged-oracle and LBNN_NO_FUSE paths fall back to the interpretive loop
+  // at run time, so the lowering is skipped when fusing is off.
+  if (fuse_) sliced_ = compile_sliced(prog_);
 }
 
 std::vector<std::uint32_t> LpuSimulator::resolve_staged(
@@ -543,15 +129,7 @@ std::vector<std::uint32_t> LpuSimulator::resolve_staged(
 
 std::vector<BitVec> LpuSimulator::run(const std::vector<BitVec>& inputs,
                                       const std::atomic<bool>* cancel) {
-  if (inputs.size() != prog_.num_primary_inputs) {
-    throw SimError("wrong number of input words");
-  }
-  const std::size_t width =
-      inputs.empty() ? prog_.cfg.effective_word_width() : inputs[0].width();
-  if (width == 0) throw SimError("zero-width batch");
-  for (const auto& v : inputs) {
-    if (v.width() != width) throw SimError("ragged input word widths");
-  }
+  const std::size_t width = validate_batch_inputs(prog_, inputs);
 
   counters_ = SimCounters{};
   counters_.wavefronts = prog_.num_wavefronts;
@@ -724,16 +302,16 @@ std::vector<BitVec> LpuSimulator::run_compiled(const std::vector<BitVec>& inputs
                                                const std::atomic<bool>* cancel,
                                                std::size_t width) {
   const std::size_t words = (width + 63) / 64;
-  const KernelFn* kernels = kWordKernels.data();
-#ifdef LBNN_SIMD_X86
-  if (kernel_ == SimdKernel::kAvx2 && words >= 4) kernels = kAvx2Kernels.data();
-#endif
+  // kAvx2 only resolves on x86 with AVX2 present, so avx2_table() is non-null
+  // whenever this branch is taken.
+  const kernels::KernelFn* ktab = kernels::word_table();
+  if (kernel_ == SimdKernel::kAvx2 && words >= 4) ktab = kernels::avx2_table();
 
   // Zero only on (re)size: the op stream is identical every run, so every
   // row it reads was written earlier in the same run (or is row 0, the
   // never-written zero row) — stale words are unreachable.
-  if (arena_.size() != static_cast<std::size_t>(num_rows_) * words) {
-    arena_.assign(static_cast<std::size_t>(num_rows_) * words, 0);
+  if (arena_.size() != static_cast<std::size_t>(sliced_.num_rows) * words) {
+    arena_.assign(static_cast<std::size_t>(sliced_.num_rows) * words, 0);
   }
   std::uint64_t* const arena = arena_.data();
 
@@ -752,20 +330,20 @@ std::vector<BitVec> LpuSimulator::run_compiled(const std::vector<BitVec>& inputs
     counters_.feedback_words = c.feedback_words;
   };
 
-  const SlicedOp* const ops = ops_.data();
+  const SlicedOp* const ops = sliced_.ops.data();
   std::size_t op = 0;
-  for (std::uint32_t w = 0; w < compiled_waves_; ++w) {
+  for (std::uint32_t w = 0; w < sliced_.compiled_waves; ++w) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-      set_counters(counters_at_[w]);
+      set_counters(sliced_.counters_at[w]);
       throw SimCancelled("simulator run cancelled at wavefront " +
                          std::to_string(w));
     }
-    const std::uint32_t end = wave_op_end_[w];
+    const std::uint32_t end = sliced_.wave_op_end[w];
     for (; op < end; ++op) {
       const SlicedOp& o = ops[op];
       if (o.kind == SlicedOp::kCompute) {
-        kernels[o.bits](arena + o.a * words, arena + o.b * words,
-                        arena + o.dst * words, words);
+        ktab[o.bits](arena + o.a * words, arena + o.b * words,
+                     arena + o.dst * words, words);
       } else if (o.kind == SlicedOp::kCopy) {
         std::copy_n(arena + o.a * words, words, arena + o.dst * words);
       } else if (hook_) {
@@ -774,11 +352,11 @@ std::vector<BitVec> LpuSimulator::run_compiled(const std::vector<BitVec>& inputs
     }
   }
 
-  if (compiled_error_) {
-    set_counters(compiled_error_counters_);
-    throw SimError(compiled_error_msg_);
+  if (sliced_.error) {
+    set_counters(sliced_.error_counters);
+    throw SimError(sliced_.error_msg);
   }
-  set_counters(counters_at_[prog_.num_wavefronts]);
+  set_counters(sliced_.counters_at[prog_.num_wavefronts]);
 
   std::vector<BitVec> outputs(prog_.num_primary_outputs);
   for (std::size_t po = 0; po < outputs.size(); ++po) {
@@ -786,7 +364,7 @@ std::vector<BitVec> LpuSimulator::run_compiled(const std::vector<BitVec>& inputs
     for (std::size_t w = 0; w < words; ++w) {
       // set_word masks the tail word: bits the kernels' ~ terms set past the
       // batch width never reach the caller.
-      v.set_word(w, arena[(out_row0_ + po) * words + w]);
+      v.set_word(w, arena[(sliced_.out_row0 + po) * words + w]);
     }
     outputs[po] = std::move(v);
   }
@@ -794,23 +372,20 @@ std::vector<BitVec> LpuSimulator::run_compiled(const std::vector<BitVec>& inputs
 }
 
 // -------------------------------------------------------------------------
-// Bit-sliced kernel: every datapath row (input buffer word, snapshot
-// register, inter-LPV lane output, primary output) is `words` packed 64-bit
-// words in one flat arena; routes are row copies and gate evaluation is the
-// word/AVX2 LUT kernel over the full batch width. No per-gate allocations —
-// the arena is sized once per (program, width) and reused across runs.
+// Bit-sliced interpretive kernel: every datapath row (input buffer word,
+// snapshot register, inter-LPV lane output, primary output) is `words`
+// packed 64-bit words in one flat arena; routes are row copies and gate
+// evaluation is the word/AVX2 LUT kernel over the full batch width. No
+// per-gate allocations — the arena is sized once per (program, width) and
+// reused across runs.
 //
-// Inter-LPV data movement is fused with the compute stage, mirroring the
-// hardware: an LPE's output traverses the multicast switch and lands in the
-// next LPV's snapshot registers within the same macro cycle, so the kernel
-// writes gate results DIRECTLY into the consuming LPV's register rows
-// (multicast fanout = one kernel run + row copies) instead of staging them
-// in a lane-output row the route stage would copy again. Lane rows are only
-// materialized where something other than the next LPV's switch reads them:
-// the terminal LPV (feedback writes and output taps) and staged-switch
-// oracle mode, where the routes are resolved dynamically. A compute whose
-// output no effective route consumes skips the kernel entirely — the scalar
-// path computes and drops the value, observationally the same.
+// This loop only runs for the configurations the compiled replay stream
+// cannot cover: the staged-switch oracle (routes resolved dynamically per
+// run) and LBNN_NO_FUSE (the un-fused interpreter requested on purpose as a
+// debug/differential knob). The default configuration delegates to
+// run_compiled above. Lane-output rows are therefore always materialized
+// here and delivery happens in the switch stage, exactly like the scalar
+// oracle.
 //
 // Observable behaviour (outputs, counters, SimError/SimCancelled points,
 // hooks, staged-switch oracle) matches run_scalar bit for bit —
@@ -834,10 +409,8 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
   // kernel falls straight into its word-loop tail, so narrow batches take
   // the portable table directly. Each table entry is specialized to one
   // truth table (masks constant-folded away); dispatch is one indexed call.
-  const KernelFn* kernels = kWordKernels.data();
-#ifdef LBNN_SIMD_X86
-  if (kernel_ == SimdKernel::kAvx2 && words >= 4) kernels = kAvx2Kernels.data();
-#endif
+  const kernels::KernelFn* ktab = kernels::word_table();
+  if (kernel_ == SimdKernel::kAvx2 && words >= 4) ktab = kernels::avx2_table();
 
   // Arena layout, in rows of `words` 64-bit words:
   //   [in_base   ..)  input data buffer (input_layout.size() rows)
@@ -878,12 +451,6 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
   std::size_t prev_base = lane_base;
   std::size_t cur_base = lane_base + static_cast<std::size_t>(m) * words;
 
-  // Staged-switch oracle mode resolves multicast assignments dynamically per
-  // instruction, so compute results cannot be delivered ahead of the route
-  // stage — fall back to materializing lane-output rows (LBNN_NO_FUSE forces
-  // the same fallback for debugging/differential runs).
-  const bool fused = fuse_ && !oracle_;
-
   // Feedback addresses are dense (addr = wavefront * m + lane), so the
   // scalar path's hash map becomes two flat tables: row offset into
   // fb_arena_ (-1 = never written) and the absolute write completion time.
@@ -916,11 +483,7 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
           regs_base + static_cast<std::size_t>(j) * 2 * m * words;
       char* const valid_j = reg_valid.data() + static_cast<std::size_t>(j) * 2 * m;
 
-      // 1. Switch stage: deliver rows into snapshot registers. In fused mode
-      // previous-LPV lane values already landed here during the previous
-      // LPV's compute stage; only validity checks and counters remain, and
-      // dead writes (a later route targets the same slot) skip their copy so
-      // they cannot clobber a fused delivery that is the slot's last writer.
+      // 1. Switch stage: deliver rows into snapshot registers.
       for (std::size_t ri = 0; ri < instr.routes.size(); ++ri) {
         const RouteWrite& r = instr.routes[ri];
         std::uint64_t* const dst = arena + regs_j + r.slot * words;
@@ -932,15 +495,11 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
             if (lane >= m || !prev_valid[lane]) {
               throw SimError("route from an invalid previous-LPV lane");
             }
-            if (!fused) {
-              std::copy_n(arena + prev_base + lane * words, words, dst);
-            }
+            std::copy_n(arena + prev_base + lane * words, words, dst);
             break;
           }
           case SrcSel::Kind::kInput:
-            if (!fused || is_last_slot_writer(instr.routes, ri)) {
-              std::copy_n(arena + in_base + r.src.index * words, words, dst);
-            }
+            std::copy_n(arena + in_base + r.src.index * words, words, dst);
             ++counters_.input_reads;
             break;
           case SrcSel::Kind::kFeedback: {
@@ -951,9 +510,7 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
             if (static_cast<std::uint64_t>(w) + j <= fb_time[r.src.index]) {
               throw SimError("feedback read would outrun its write in hardware");
             }
-            if (!fused || is_last_slot_writer(instr.routes, ri)) {
-              std::copy_n(fb_arena_.data() + fb_offset[r.src.index], words, dst);
-            }
+            std::copy_n(fb_arena_.data() + fb_offset[r.src.index], words, dst);
             break;
           }
         }
@@ -961,13 +518,9 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
         ++counters_.route_writes;
       }
 
-      // 2. Compute stage: the bit-sliced LUT kernel, full batch width per op.
-      // Fused mode writes each gate's result straight through the multicast
-      // switch into the next LPV's consuming register rows (fanout = one
-      // kernel run + row copies); the terminal LPV still materializes lane
-      // rows for feedback writes and output taps.
+      // 2. Compute stage: the bit-sliced LUT kernel, full batch width per op,
+      // into this LPV's lane-output rows.
       std::fill(cur_valid.begin(), cur_valid.end(), 0);
-      const bool deliver_fused = fused && j + 1 < n;
       for (const ComputeWrite& c : instr.computes) {
         const std::size_t slot_a = static_cast<std::size_t>(c.lane) * 2;
         if (!c.lut.ignores_a() && !valid_j[slot_a]) {
@@ -983,30 +536,7 @@ std::vector<BitVec> LpuSimulator::run_sliced(const std::vector<BitVec>& inputs,
                                            : arena + zero_base;
         cur_valid[c.lane] = 1;
         ++counters_.lpe_computes;
-        if (!deliver_fused) {
-          kernels[c.lut.bits() & 0xF](a, b, arena + cur_base + c.lane * words,
-                                      words);
-          continue;
-        }
-        // Fused delivery: run the kernel once into the first consuming slot
-        // (from the CSR decoded at construction), multicast the row to the
-        // rest. A result no effective route consumes is dropped without
-        // evaluating (the scalar oracle computes and drops it —
-        // observationally identical).
-        const std::size_t regs_next =
-            regs_j + static_cast<std::size_t>(2) * m * words;
-        const std::size_t cell =
-            (static_cast<std::size_t>(w) * n + j) * m + c.lane;
-        std::uint64_t* first_dst = nullptr;
-        for (std::uint32_t k = fan_off_[cell]; k < fan_off_[cell + 1]; ++k) {
-          std::uint64_t* const dst = arena + regs_next + fan_slot_[k] * words;
-          if (first_dst == nullptr) {
-            kernels[c.lut.bits() & 0xF](a, b, dst, words);
-            first_dst = dst;
-          } else {
-            std::copy_n(first_dst, words, dst);
-          }
-        }
+        ktab[c.lut.bits() & 0xF](a, b, arena + cur_base + c.lane * words, words);
       }
 
       // 3. Terminal LPV: feedback writes and output taps.

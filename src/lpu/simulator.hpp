@@ -7,21 +7,10 @@
 
 #include "common/bitvec.hpp"
 #include "core/program.hpp"
+#include "lpu/backend.hpp"
+#include "lpu/sliced_program.hpp"
 
 namespace lbnn {
-
-/// Execution statistics of one batch (used by benches and reports).
-struct SimCounters {
-  std::uint64_t wavefronts = 0;
-  std::uint64_t macro_cycles = 0;
-  std::uint64_t clock_cycles = 0;
-  std::uint64_t lpe_computes = 0;
-  std::uint64_t route_writes = 0;
-  std::uint64_t input_reads = 0;
-  std::uint64_t feedback_words = 0;
-  /// computes / (wavefronts * n * m)
-  double lpe_utilization = 0.0;
-};
 
 /// Which gate-evaluation kernel a simulator instance executes with.
 ///
@@ -42,7 +31,9 @@ enum class SimdKernel : std::uint8_t { kScalar, kWord64, kAvx2 };
 
 const char* to_string(SimdKernel k);
 
-/// Cycle-level simulator of the LPU of Sec. IV.
+/// Cycle-level simulator of the LPU of Sec. IV — the interpreter backend
+/// pair (scalar oracle / bit-sliced) behind the ExecutorBackend seam; the
+/// AOT-compiled backends live in src/aot/.
 ///
 /// Models: per-LPE snapshot registers with hold semantics, the non-blocking
 /// multicast switch between adjacent LPVs (functional routing; the
@@ -65,7 +56,7 @@ const char* to_string(SimdKernel k);
 /// (read at construction): LBNN_FORCE_SCALAR forces the scalar kernel
 /// regardless of `simd`, LBNN_NO_AVX2 pins the bit-sliced path to the
 /// portable word-at-a-time loop — CI builds both legs.
-class LpuSimulator {
+class LpuSimulator : public ExecutorBackend {
  public:
   explicit LpuSimulator(const Program& program, bool simd = true);
 
@@ -81,12 +72,21 @@ class LpuSimulator {
   /// kernel polls at the same wavefront boundary, so a cancelled run throws
   /// at the identical point scalar or bit-sliced.
   std::vector<BitVec> run(const std::vector<BitVec>& inputs,
-                          const std::atomic<bool>* cancel = nullptr);
+                          const std::atomic<bool>* cancel = nullptr) override;
 
-  const SimCounters& counters() const { return counters_; }
+  const SimCounters& counters() const override { return counters_; }
+
+  BackendKind backend_kind() const override {
+    return kernel_ == SimdKernel::kScalar ? BackendKind::kScalar
+                                          : BackendKind::kSliced;
+  }
 
   /// The gate-evaluation kernel this instance resolved to at construction.
   SimdKernel kernel() const { return kernel_; }
+
+  /// The compiled replay stream (empty when scalar or LBNN_NO_FUSE) — the
+  /// AOT backend's codegen input when an executor is already at hand.
+  const SlicedProgram& sliced() const { return sliced_; }
 
   /// True when this CPU exposes AVX2 (always false off x86).
   static bool cpu_has_avx2();
@@ -124,8 +124,6 @@ class LpuSimulator {
                                    std::size_t width);
   /// Staged-switch resolution shared by both kernels (see set_route_oracle).
   std::vector<std::uint32_t> resolve_staged(const LpvInstr& instr) const;
-  /// Builds the compiled op stream (see SlicedOp) at construction.
-  void compile_sliced();
 
   const Program& prog_;
   SimCounters counters_;
@@ -133,10 +131,14 @@ class LpuSimulator {
   RouteOracle oracle_;
   SimdKernel kernel_;
   /// Fused switch delivery in the bit-sliced path (compute results land
-  /// directly in the next LPV's register rows). LBNN_NO_FUSE (read at
-  /// construction) turns it off, materializing lane-output rows like the
-  /// staged-oracle path does — a debug/differential knob.
+  /// directly in the next LPV's register rows — the compiled replay stream).
+  /// LBNN_NO_FUSE (read at construction) turns it off, materializing
+  /// lane-output rows like the staged-oracle path does — a debug/differential
+  /// knob.
   bool fuse_ = true;
+  /// The program lowered to its flat replay stream (see sliced_program.hpp),
+  /// built once at construction when the compiled path is live.
+  SlicedProgram sliced_;
   /// Flat scratch arena of the bit-sliced kernels: every datapath row
   /// (input buffer, snapshot registers, inter-LPV lane outputs, primary
   /// outputs, and one always-zero row) is `words_per_row` packed 64-bit
@@ -146,13 +148,6 @@ class LpuSimulator {
   /// Growable feedback region (rows appended on first write to an address);
   /// separate from arena_ so growth cannot invalidate hot-loop pointers.
   std::vector<std::uint64_t> fb_arena_;
-  /// Fused-delivery fanout, decoded once at construction (the program is
-  /// immutable): CSR over (wavefront * n + producer_lpv) * m + lane giving
-  /// the next LPV's register slots that consume the lane's compute result —
-  /// only effective routes (last write to their slot) are listed. Keeps the
-  /// per-gate hot loop free of route-table scans.
-  std::vector<std::uint32_t> fan_off_;
-  std::vector<std::uint32_t> fan_slot_;
   /// Bit-sliced run scratch sized at construction (program-shaped, width-
   /// independent), reset cheaply per run instead of reallocated: validity
   /// flags, the dense feedback tables (offset/write-time per address), and
@@ -164,43 +159,6 @@ class LpuSimulator {
   std::vector<std::ptrdiff_t> fb_offset_;
   std::vector<std::uint64_t> fb_time_;
   std::vector<std::vector<const OutputTap*>> taps_at_;
-
-  /// One op of the compiled bit-sliced program. Every piece of the
-  /// interpreter's control flow is data-independent (validity, feedback
-  /// read/write ordering, fanout, errors, counters — all functions of the
-  /// immutable program alone), so construction "compiles" the program into a
-  /// flat op stream and the hot loop is a replay: kernel calls and row
-  /// copies, nothing else. Row indices are in row units; the executor scales
-  /// by the per-run word count. Row 0 is the always-zero row.
-  struct SlicedOp {
-    enum Kind : std::uint8_t { kCompute, kCopy, kHook };
-    std::uint32_t a = 0;    ///< kCompute: A row. kCopy: src row. kHook: lpv.
-    std::uint32_t b = 0;    ///< kCompute: B row.
-    std::uint32_t dst = 0;  ///< kCompute / kCopy: destination row.
-    Kind kind = kCompute;
-    std::uint8_t bits = 0;  ///< kCompute: truth table (kernel table index).
-  };
-  /// Exact counter values at a wavefront boundary (and at the compiled
-  /// error's throw point): a cancelled or failed run must report the same
-  /// partial counters the interpreter would have accumulated.
-  struct CounterPrefix {
-    std::uint64_t input_reads = 0;
-    std::uint64_t route_writes = 0;
-    std::uint64_t lpe_computes = 0;
-    std::uint64_t feedback_words = 0;
-  };
-  std::vector<SlicedOp> ops_;
-  std::vector<std::uint32_t> wave_op_end_;  ///< ops_ end per wavefront
-  std::vector<CounterPrefix> counters_at_;  ///< before wavefront w; [W] = final
-  std::uint32_t num_rows_ = 0;              ///< arena rows (zero|in|regs|out|fb)
-  std::uint32_t out_row0_ = 0;              ///< first primary-output row
-  std::uint32_t compiled_waves_ = 0;        ///< wavefronts the stream covers
-  /// A program whose run would throw SimError does so at a fixed point; the
-  /// stream is truncated there and the executor replays the throw (message
-  /// and partial counters included) after the covered wavefronts.
-  bool compiled_error_ = false;
-  std::string compiled_error_msg_;
-  CounterPrefix compiled_error_counters_;
 };
 
 /// Bitwise evaluation of a 2-input LUT over packed words.

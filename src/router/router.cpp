@@ -1,6 +1,11 @@
 #include "router/router.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -29,6 +34,26 @@ struct ShardWindow {
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
 };
+
+bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0';
+}
+
+/// One artifact directory for the whole fleet, so replica shards share
+/// content-keyed native artifacts: the first shard to finish codegen for a
+/// program publishes the .so, every other shard's codegen job finds it on
+/// disk (a native_disk_hit) instead of recompiling. Mirrors the Engine's
+/// private-dir naming with a "fleet" marker for debuggability.
+std::string make_fleet_artifact_dir() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("lbnn-aot-fleet-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+       std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
 
 const ModelReport* find_model_row(const ServeReport& report,
                                   const std::string& name) {
@@ -143,6 +168,18 @@ Router::Router(const RouterOptions& options)
   if (options_.initial_replicas == 0) options_.initial_replicas = 1;
   options_.initial_replicas =
       std::min(options_.initial_replicas, options_.num_shards);
+  // When AOT is on and the caller named no artifact_dir, give every shard ONE
+  // shared directory instead of letting each Engine make a private one: a
+  // model replicated across shards then pays for codegen once and the other
+  // replicas warm-load the .so from disk. The gate mirrors the Engine's own
+  // enablement so we never create a directory no shard will use.
+  const bool aot_on = (options_.engine.aot || env_set("LBNN_FORCE_AOT")) &&
+                      !env_set("LBNN_NO_AOT") && options_.engine.simd &&
+                      !env_set("LBNN_FORCE_SCALAR");
+  if (aot_on && options_.engine.artifact_dir.empty()) {
+    options_.engine.artifact_dir = make_fleet_artifact_dir();
+    own_artifact_dir_ = true;
+  }
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Engine>(options_.engine));
@@ -573,6 +610,14 @@ void Router::shutdown() {
   ticks_cv_.notify_all();
   if (rebalancer_.joinable()) rebalancer_.join();
   for (const auto& s : shards_) s->shutdown();
+  if (own_artifact_dir_) {
+    // Every shard is down (their AOT jobs joined inside shutdown), so nothing
+    // can still be writing here. dlopen'd code stays mapped for any artifact
+    // a caller still holds; only the on-disk cache goes away.
+    std::error_code ec;
+    std::filesystem::remove_all(options_.engine.artifact_dir, ec);
+    own_artifact_dir_ = false;
+  }
 }
 
 FleetReport Router::report() const {
