@@ -45,6 +45,8 @@ BENCHES = [
     ("serve_sharding", ["200"]),
     ("serve_simd", ["200"]),
     ("serve_aot", ["120"]),
+    ("serve_cascade", ["200"]),
+    ("serve_canary", ["2000"]),
 ]
 
 

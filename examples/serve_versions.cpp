@@ -1,0 +1,121 @@
+// Cascades and versioned hot-swap aliases, end to end:
+//
+//   1. CASCADE — a tiny NullaNet-style screen of a zoo layer answers the
+//      requests its confidence bit clears; the rest forward to the exact
+//      popcount synthesis of the same layer, under one absolute deadline
+//      (stage 2 admits on whatever budget stage 1 left over).
+//   2. CANARY ROLLOUT — clients address "jsc@prod" through an AliasTable
+//      while v2 of the model goes from dark (0%) to a 25% weighted split
+//      (exact stride, not sampling) to an atomic flip, and the idle v1 is
+//      reaped by evict_idle afterwards.
+//
+//   $ ./serve_versions [requests]
+//
+// Contrast with examples/serve_demo.cpp, which covers the per-model serving
+// basics — this example is about multi-model POLICY on top of them.
+
+#include <cstdlib>
+#include <future>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "netlist/simulate.hpp"
+#include "nn/model_zoo.hpp"
+#include "runtime/engine.hpp"
+#include "serve/alias.hpp"
+#include "serve/cascade.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lbnn;
+  using namespace lbnn::runtime;
+
+  const long long arg = argc > 1 ? std::atoll(argv[1]) : 400;
+  const std::size_t kRequests = static_cast<std::size_t>(arg > 0 ? arg : 400);
+
+  // The same jet-substructure layer at two fidelities: a pruned LUT-cone
+  // screen and the exact XNOR-popcount form (~5x the gates).
+  const nn::ModelDesc desc = nn::jsc_l();
+  nn::SynthOptions tiny_opt;
+  tiny_opt.style = nn::NeuronStyle::kNullaNetTiny;
+  tiny_opt.fanin_cap = 5;
+  Rng rng(7);
+  const Netlist tiny_nl =
+      nn::synthesize_layer_ffcl(desc.layers[0], tiny_opt, rng).ffcl;
+  Rng rng2(7);
+  const Netlist big_nl =
+      nn::synthesize_layer_ffcl(desc.layers[0], nn::SynthOptions{}, rng2).ffcl;
+
+  EngineOptions eopt;
+  eopt.num_workers = 2;
+  eopt.compile.lpu.m = 8;
+  eopt.compile.lpu.n = 8;
+  Engine engine(eopt);
+
+  // --- 1. Cascade -----------------------------------------------------------
+  ModelOptions mopt;
+  mopt.queue_bound = 2 * kRequests;  // the whole burst fits; nothing sheds
+  const ModelHandle tiny = engine.load("jsc_tiny", tiny_nl, mopt);
+  const ModelHandle big = engine.load("jsc_big", big_nl, mopt);
+  serve::CascadeOptions copt;
+  copt.confident = [](const std::vector<bool>& out) { return out[0]; };
+  serve::Cascade cascade(engine, tiny, big, copt);
+
+  std::vector<std::future<std::vector<bool>>> futs;
+  std::vector<bool> bits(tiny_nl.num_inputs());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    for (std::size_t j = 0; j < bits.size(); ++j) bits[j] = rng.next_bool();
+    futs.push_back(cascade.submit(bits));
+  }
+  cascade.drain();
+  for (auto& f : futs) f.get();
+
+  const serve::CascadeReport crep = cascade.report();
+  std::cout << "cascade (" << tiny_nl.num_gates() << "-gate screen in front "
+            << "of " << big_nl.num_gates() << "-gate model):\n  "
+            << crep.submitted << " requests -> " << crep.stage1_answered
+            << " answered by the screen, " << crep.forwarded
+            << " forwarded, " << crep.stage2_answered
+            << " answered by the big model\n\n";
+  engine.unload(tiny);  // done with the cascade pair; the rollout below
+  engine.unload(big);   // should be the only idle-eviction candidates
+
+  // --- 2. Versioned alias rollout ------------------------------------------
+  const ModelHandle v1 = engine.load("jsc_v1", tiny_nl);
+  const ModelHandle v2 = engine.load("jsc_v2", tiny_nl);  // dedups in cache
+  serve::AliasTable table(engine);
+  table.publish("jsc@prod", v1);
+  table.set_canary("jsc@prod", v2, 0, 1);  // v2 staged dark
+
+  const auto phase = [&](const char* label, std::size_t n) {
+    std::vector<std::future<std::vector<bool>>> fs;
+    for (std::size_t i = 0; i < n; ++i) fs.push_back(table.submit("jsc@prod", bits));
+    engine.drain();
+    for (auto& f : fs) f.get();
+    const serve::AliasReport r = table.report("jsc@prod");
+    std::cout << "  " << std::left << std::setw(18) << label << " primary "
+              << r.to_primary << ", canary " << r.to_canary << "\n";
+  };
+
+  std::cout << "rollout of jsc@prod (cumulative routing ledger):\n";
+  phase("dark (0%)", kRequests / 4);
+  table.set_split("jsc@prod", 1, 3);  // 25%, exact over every window of 4
+  engine.set_weight(v2, 1);           // canary QoS share to match
+  phase("canary (25%)", kRequests / 4);
+  const auto t_flip = std::chrono::steady_clock::now();
+  const ModelHandle old = table.flip("jsc@prod");
+  phase("flipped (100%)", kRequests / 4);
+
+  // v1 has been idle since the flip; everything else served since. Half the
+  // flip-to-now gap reaps exactly the old version.
+  const std::size_t evicted =
+      engine.evict_idle((std::chrono::steady_clock::now() - t_flip) / 2);
+  std::cout << "evict_idle reaped " << evicted << " idle model(s); old primary '"
+            << old.name() << "' loaded=" << std::boolalpha << old.loaded()
+            << ", serving '" << table.resolve("jsc@prod").name() << "'\n";
+
+  engine.shutdown();
+  return 0;
+}

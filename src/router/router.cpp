@@ -330,19 +330,29 @@ std::future<std::vector<bool>> Router::submit(const RoutedHandle& h,
     return shards_[c.winner.shard]->submit(c.winner.handle, std::move(inputs),
                                            deadline);
   }
-  // A replica can retire between routing and submission; fall over to the
-  // loser then. DeadlineExceeded is final — the winner had the minimum drain
+  // A replica can retire between routing and submission; fall over once
+  // then. DeadlineExceeded is final — the winner had the minimum drain
   // estimate, the loser would shed too.
   if (!c.winner.handle.loaded()) std::swap(c.winner, c.loser);
+  std::vector<bool> copy = inputs;  // retry payload: the first attempt
+                                    // consumes `inputs` at the call site,
+                                    // throw or no throw
   try {
     return shards_[c.winner.shard]->submit(c.winner.handle, std::move(inputs),
                                            deadline);
   } catch (const DeadlineExceeded&) {
     throw;
   } catch (const Error&) {
-    if (!c.loser.handle.loaded()) throw;
-    return shards_[c.loser.shard]->submit(c.loser.handle, std::move(inputs),
-                                          deadline);
+    // Retry against the CURRENT replica set, not the loser sampled before
+    // the first attempt: a set_replicas retire or an alias flip may have
+    // removed that replica from routing while the attempt ran, and the stale
+    // handle would just throw "unloaded" for a model that is still loaded.
+    Candidates r = route(*model);
+    if (!r.winner.handle) throw;
+    Replica retry = r.winner;
+    if (r.has_loser && r.winner.shard == c.winner.shard) retry = r.loser;
+    return shards_[retry.shard]->submit(retry.handle, std::move(copy),
+                                        deadline);
   }
 }
 
@@ -355,6 +365,14 @@ SubmitStatus Router::try_submit(const RoutedHandle& h,
   if (!c.winner.handle) return SubmitStatus::kUnloaded;
   std::vector<bool> copy;
   if (c.has_loser) copy = inputs;  // keep a retry payload
+  {
+    std::shared_ptr<const std::function<void()>> hook;
+    {
+      std::lock_guard<std::mutex> lk(models_mu_);
+      hook = route_hook_;
+    }
+    if (hook) (*hook)();
+  }
   const SubmitStatus first = shards_[c.winner.shard]->try_submit(
       c.winner.handle, std::move(inputs), result, deadline);
   if (first == SubmitStatus::kAccepted ||
@@ -364,8 +382,28 @@ SubmitStatus Router::try_submit(const RoutedHandle& h,
     // one shed per refused request (books: accepted + shed + expired).
     return first;
   }
-  return shards_[c.loser.shard]->try_submit(c.loser.handle, std::move(copy),
-                                            result, deadline);
+  // Retry against the CURRENT replica set, not the pair sampled above: while
+  // the first attempt ran, a set_replicas retire or an alias flip may have
+  // removed the sampled loser from routing, and retrying the stale handle
+  // would surface kUnloaded for a model that is still loaded. Prefer a
+  // replica other than the one that just refused when the fresh sample
+  // offers one.
+  Candidates r = route(*model);
+  if (!r.winner.handle) return first;
+  Replica retry = r.winner;
+  if (r.has_loser && r.winner.shard == c.winner.shard) retry = r.loser;
+  return shards_[retry.shard]->try_submit(retry.handle, std::move(copy),
+                                          result, deadline);
+}
+
+void Router::set_route_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(models_mu_);
+  if (hook) {
+    route_hook_ =
+        std::make_shared<const std::function<void()>>(std::move(hook));
+  } else {
+    route_hook_ = nullptr;
+  }
 }
 
 bool Router::unload(const RoutedHandle& h) {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -201,6 +202,13 @@ class Router {
   /// summed into otherData.
   void export_trace(std::ostream& os);
 
+  /// Test instrumentation, mirroring Engine::set_dispatch_hook: called by
+  /// try_submit between candidate sampling and the first dispatch attempt —
+  /// the window where a concurrent set_replicas/flip can retire a sampled
+  /// replica. The retry-vs-retire tests shrink the replica set inside the
+  /// hook to pin that the retry re-samples the current set. nullptr clears.
+  void set_route_hook(std::function<void()> hook);
+
   std::size_t num_shards() const { return shards_.size(); }
   /// Direct access to one shard's Engine (tests, per-shard introspection).
   runtime::Engine& shard(std::size_t i) { return *shards_[i]; }
@@ -244,6 +252,9 @@ class Router {
 
   mutable std::mutex models_mu_;
   std::vector<std::shared_ptr<RoutedModel>> models_;
+  /// Guarded by models_mu_; try_submit snapshots the shared_ptr and calls
+  /// outside the lock (see set_route_hook).
+  std::shared_ptr<const std::function<void()>> route_hook_;
 
   std::mutex rng_mu_;
   Rng rng_;

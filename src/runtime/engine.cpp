@@ -171,9 +171,11 @@ struct ModelState {
   std::size_t num_outputs = 0;
   std::uint64_t cache_key = 0;  ///< released on unload (unless key-sharing)
   Engine* engine = nullptr;
-  std::uint32_t weight = 1;
-  std::uint64_t stride = kStrideScale;
   std::size_t queue_bound = 0;
+  /// QoS share of the stride scheduler. Set at registration and re-written by
+  /// Engine::set_weight (the canary lever); atomic so handle and report reads
+  /// need no lock. The derived stride lives on the scheduler plane below.
+  std::atomic<std::uint32_t> weight{1};
   /// SLO applied to deadline-less submits; zero means none.
   std::chrono::microseconds default_deadline{0};
 
@@ -212,6 +214,9 @@ struct ModelState {
   // sealed batches; members are claimed from each batch's atomic cursor.
   std::deque<std::shared_ptr<Engine::BatchWork>> ready;
   std::uint64_t pass = 0;
+  /// kStrideScale / weight. Written at registration and by set_weight's
+  /// rescale path; after registration every read/write is under queue_mu.
+  std::uint64_t stride = kStrideScale;
   bool in_ready_list = false;
 
   /// Unclaimed member work items across this model's sealed batches —
@@ -242,7 +247,7 @@ const ModelState& deref(const std::shared_ptr<ModelState>& state) {
 const std::string& ModelHandle::name() const { return deref(state_).name; }
 std::size_t ModelHandle::num_inputs() const { return deref(state_).num_inputs; }
 std::size_t ModelHandle::num_outputs() const { return deref(state_).num_outputs; }
-std::uint32_t ModelHandle::weight() const { return deref(state_).weight; }
+std::uint32_t ModelHandle::weight() const { return deref(state_).weight.load(); }
 std::size_t ModelHandle::queue_bound() const { return deref(state_).queue_bound; }
 bool ModelHandle::loaded() const {
   return state_ != nullptr && state_->accepting.load();
@@ -302,6 +307,9 @@ struct Engine::Impl {
   /// during the pop/steal critical section and invoke outside all locks.
   std::shared_ptr<const std::function<void(const std::string&)>> dispatch_hook;
   std::shared_ptr<const Engine::MemberHook> member_hook;
+  /// Fires inside evict_idle between a model's idle checks and its unload —
+  /// the admission-vs-evict race window (see Engine::set_evict_hook).
+  std::shared_ptr<const std::function<void(const std::string&)>> evict_hook;
 
   /// The timekeeper sleeps until the earliest open-batch deadline; submit
   /// bumps the epoch so a new (possibly earlier) deadline re-arms the wait.
@@ -410,10 +418,10 @@ ModelHandle Engine::register_model(std::shared_ptr<ModelState> state,
                                    std::size_t lane_capacity,
                                    const ModelOptions& mopt) {
   state->engine = this;
-  state->weight = mopt.weight == 0 ? 1 : mopt.weight;
+  state->weight.store(mopt.weight == 0 ? 1 : mopt.weight);
   // Floor of 1: a stride of 0 (weight > kStrideScale) would freeze the
   // model's pass at the minimum and starve every other model forever.
-  state->stride = kStrideScale / state->weight;
+  state->stride = kStrideScale / state->weight.load();
   if (state->stride == 0) state->stride = 1;
   std::size_t bound = mopt.queue_bound;
   if (bound == 0) bound = options_.default_queue_bound;
@@ -811,10 +819,39 @@ bool Engine::unload(const ModelHandle& model) {
   return true;
 }
 
-std::size_t Engine::evict_idle(std::chrono::steady_clock::duration min_idle) {
+bool Engine::set_weight(const ModelHandle& model, std::uint32_t weight) {
+  ModelState* m = state_of(model);
+  if (weight == 0) weight = 1;
+  if (!m->accepting.load()) return false;  // unloaded: nothing left to share
+  std::lock_guard<std::mutex> lk(impl_->queue_mu);
+  std::uint64_t stride = kStrideScale / weight;
+  if (stride == 0) stride = 1;  // same starvation floor as registration
+  // Re-price the model's pending credit: the lag (pass - vtime) is service
+  // debt accrued at the old stride. Scaling it by new/old keeps the model's
+  // relative place in line — it neither jumps the queue (pass = vtime would
+  // grant instant service) nor keeps paying off old debt at the old rate.
+  if (m->pass > impl_->vtime && m->stride > 0) {
+    const std::uint64_t lag = m->pass - impl_->vtime;
+    m->pass = impl_->vtime + lag * stride / m->stride;
+  }
+  m->stride = stride;
+  m->weight.store(weight);
+  return true;
+}
+
+std::size_t Engine::evict_idle(Duration min_idle) {
+  // `min_idle` is interpreted on the injected ClockSource domain — the same
+  // domain that stamps last_used_us — so under a ManualClock "idle for 10
+  // minutes" means 10 advance()d minutes, and eviction policy is testable
+  // deterministically like every other engine timing decision.
   const std::int64_t cutoff =
       to_us(clock_->now()) -
       std::chrono::duration_cast<std::chrono::microseconds>(min_idle).count();
+  std::shared_ptr<const std::function<void(const std::string&)>> hook;
+  {
+    std::lock_guard<std::mutex> lk(impl_->queue_mu);
+    hook = impl_->evict_hook;
+  }
   std::size_t evicted = 0;
   for (const auto& m : model_snapshot()) {
     if (m->last_used_us.load() > cutoff) continue;
@@ -822,6 +859,13 @@ std::size_t Engine::evict_idle(std::chrono::steady_clock::duration min_idle) {
       std::lock_guard<std::mutex> lk(m->mu);
       if (m->outstanding != 0) continue;  // actively serving; not idle
     }
+    // The idle checks above and the unload below are deliberately NOT one
+    // atomic step: a submit can still admit in this window (it raced the
+    // eviction and won). unload() tolerates that by construction — it first
+    // flips `accepting` (later submits are refused, never dropped) and then
+    // drains, so anything admitted here is still served. The hook lets tests
+    // land an admission exactly in the window and pin that guarantee.
+    if (hook) (*hook)(m->name);
     if (unload(ModelHandle(m))) ++evicted;
   }
   return evicted;
@@ -1515,12 +1559,23 @@ void Engine::set_member_hook(
   }
 }
 
+void Engine::set_evict_hook(std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lk(impl_->queue_mu);
+  if (hook) {
+    impl_->evict_hook =
+        std::make_shared<const std::function<void(const std::string&)>>(
+            std::move(hook));
+  } else {
+    impl_->evict_hook = nullptr;
+  }
+}
+
 ServeReport Engine::report() const {
   ServeReport r = stats_.report();
   for (const auto& m : model_snapshot()) {
     ModelReport mr = m->stats.report();
     mr.name = m->name;
-    mr.weight = m->weight;
+    mr.weight = m->weight.load();
     mr.queue_bound = m->queue_bound;
     // Per-model goodput shares the engine-wide wall clock (models load at
     // different times, but one common denominator keeps rows comparable).

@@ -282,9 +282,22 @@ class Engine {
   /// (concurrent unloads: exactly one caller gets true).
   bool unload(const ModelHandle& model);
 
+  /// Dynamically re-weight a loaded model's share of the stride scheduler
+  /// (ModelOptions::weight fixes only the initial share). Takes effect on the
+  /// next scheduler pop: the model's pending credit is re-priced at the new
+  /// stride, so a re-weighted model neither jumps the queue nor keeps paying
+  /// old debt at the old rate. Weight 0 clamps to 1. This is the canary
+  /// lever — grow a new version's share as an alias split moves traffic
+  /// toward it (see serve::BasicAliasTable). Throws on an empty/foreign
+  /// handle; returns false if the model is already unloaded.
+  bool set_weight(const ModelHandle& model, std::uint32_t weight);
+
   /// unload() every model whose last accepted request (or load) is at least
-  /// `min_idle` old. Returns how many models were evicted.
-  std::size_t evict_idle(std::chrono::steady_clock::duration min_idle);
+  /// `min_idle` old. The duration is interpreted on the engine's injected
+  /// ClockSource domain — the domain that stamps last-use — so under a
+  /// ManualClock "idle" means advance()d time, never wall time, and eviction
+  /// policy is deterministic in tests. Returns how many models were evicted.
+  std::size_t evict_idle(Duration min_idle);
 
   /// Seal all partial batches and block until every accepted request has
   /// been answered.
@@ -383,6 +396,13 @@ class Engine {
   /// result-claim race exactly. nullptr clears.
   void set_member_hook(
       std::function<void(const std::string&, std::size_t, bool)> hook);
+
+  /// Called by evict_idle() with a model's name after the model passed the
+  /// idle checks (stale last-use, zero outstanding) and before its unload()
+  /// begins — the window where a concurrent admission can still land. Test
+  /// instrumentation for the admission-vs-evict race: anything admitted in
+  /// the window must still be served by unload's drain. nullptr clears.
+  void set_evict_hook(std::function<void(const std::string&)> hook);
 
  private:
   friend struct ModelState;  // embeds a deque of ready batches

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.hpp"
+
+namespace lbnn::serve {
+
+/// Cascade policy knobs (see Cascade).
+struct CascadeOptions {
+  /// Decides from the tiny model's output whether the request is answered at
+  /// stage 1 (true) or forwarded to the big model (false). A null predicate
+  /// forwards everything — a cascade only pays off once this is configured
+  /// (e.g. "the tiny classifier's margin bit is set").
+  std::function<bool(const std::vector<bool>&)> confident;
+  /// When stage-1 ADMISSION refuses (queue-full or shed), bypass the tiny
+  /// model and dispatch straight to stage 2 (default) instead of failing the
+  /// request — a backlogged tiny model must not take the big model down with
+  /// it. Stage-2 refusals always fail the request.
+  bool bypass_on_stage1_refusal = true;
+};
+
+/// Per-stage cascade ledger. Each stage is an ordinary engine model, so its
+/// latency/shed/expired detail lives in the engine's ServeReport rows; this
+/// report adds the cascade-level routing outcomes. Once drained:
+///   submitted == stage1_answered + stage2_answered + failed
+///   forwarded + bypassed == stage2_answered + stage2_shed + stage-2 errors
+struct CascadeReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t stage1_answered = 0;  ///< tiny output accepted by the predicate
+  std::uint64_t forwarded = 0;        ///< tiny ran; predicate said no -> big
+  std::uint64_t bypassed = 0;         ///< stage-1 refusal routed straight to big
+  std::uint64_t stage1_shed = 0;      ///< stage-1 admission refusals
+  std::uint64_t stage2_answered = 0;  ///< big model resolved the request
+  std::uint64_t stage2_shed = 0;      ///< stage-2 admission refusals (request fails)
+  std::uint64_t failed = 0;           ///< futures that resolved with an exception
+};
+
+/// Two-stage model cascade over the Engine handle API: a tiny model answers
+/// the requests its output predicate is confident about, the rest forward to
+/// the big model. The caller-facing future resolves exactly once either way.
+///
+/// Deadline rebudgeting: a request's deadline is one ABSOLUTE TimePoint
+/// threaded through both stages. Stage 2's admission check runs at forward
+/// time, after stage 1's queueing and service have already been spent from
+/// the budget — so it sees the REMAINING budget, not the original deadline,
+/// and sheds a forwarded request whose leftover budget is below the big
+/// model's estimated drain (counted in stage2_shed; the future fails with
+/// DeadlineExceeded in microseconds instead of wasting a big-model lane).
+///
+/// Threading: submit() never blocks on stage results; two internal pipe
+/// threads (forwarder: stage-1 completion -> predicate -> stage-2 admission;
+/// finisher: stage-2 completion -> caller promise) drive the chain in FIFO
+/// order. Waits are future/condvar-based — nothing here reads a clock, so
+/// ManualClock tests stay sleep-free. The Cascade must outlive its pending
+/// futures' resolution and be destroyed before the Engine.
+class Cascade {
+ public:
+  /// Both handles must live on `engine`. The options' predicate is called on
+  /// the forwarder thread with the tiny model's output.
+  Cascade(runtime::Engine& engine, runtime::ModelHandle tiny,
+          runtime::ModelHandle big, CascadeOptions options = {});
+  ~Cascade();
+
+  Cascade(const Cascade&) = delete;
+  Cascade& operator=(const Cascade&) = delete;
+
+  /// Submit one sample; the future resolves with the answering stage's output
+  /// (or DeadlineExceeded / Error if both stages refused it). Never blocks on
+  /// model execution; uses the engines' non-blocking admission internally.
+  std::future<std::vector<bool>> submit(
+      std::vector<bool> inputs,
+      runtime::TimePoint deadline = runtime::kNoDeadline);
+
+  /// Block until every submitted request's future has resolved. Drives the
+  /// engine's drain as needed (a forwarded request needs a second seal for
+  /// its stage-2 batch). Call it quiesced — concurrent submits extend it.
+  void drain();
+
+  CascadeReport report() const;
+
+ private:
+  struct Entry {
+    std::promise<std::vector<bool>> promise;
+    std::vector<bool> inputs;  ///< retained for the stage-2 forward
+    runtime::TimePoint deadline{};
+    std::future<std::vector<bool>> stage1;
+  };
+  struct Fin {
+    std::promise<std::vector<bool>> promise;
+    std::future<std::vector<bool>> stage2;
+  };
+
+  void forwarder_loop();
+  void finisher_loop();
+  /// Stage-2 admission for one entry (forward or bypass path); resolves the
+  /// promise on refusal. Caller counted forwarded/bypassed already.
+  void forward(Entry e);
+  /// One request fully resolved: drop pending, wake drain().
+  void done_locked();
+
+  runtime::Engine* engine_;
+  runtime::ModelHandle tiny_;
+  runtime::ModelHandle big_;
+  CascadeOptions opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable stage1_cv_;  ///< forwarder wakeups
+  std::condition_variable stage2_cv_;  ///< finisher wakeups
+  std::condition_variable drain_cv_;   ///< drain() wakeups
+  std::deque<Entry> stage1_q_;
+  std::deque<Fin> stage2_q_;
+  bool stop_ = false;
+  std::size_t pending_ = 0;      ///< submitted, promise not yet resolved
+  std::uint64_t progress_ = 0;   ///< bumped on every pipe-thread action
+  CascadeReport counters_;
+
+  std::thread forwarder_;
+  std::thread finisher_;
+};
+
+}  // namespace lbnn::serve

@@ -414,6 +414,82 @@ TEST(Router, FleetBooksCloseAcrossShedExpiredCompleted) {
   router.shard(1).set_member_hook(nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// try_submit retry vs a concurrently retired replica
+// ---------------------------------------------------------------------------
+
+// The retry after a refused first attempt must target the CURRENT replica
+// set, not the loser sampled before the attempt: a set_replicas (or alias
+// flip) can retire the sampled loser in between. The route hook lands the
+// retire deterministically inside that window. Pre-fix, the stale loser
+// surfaced kUnloaded for a model that is still very much loaded; the
+// re-sampling retry reports the survivor's honest kQueueFull. A shed probe
+// then pins that a refusal still costs exactly one fleet shed — the retire
+// path never double-counts.
+TEST(Router, TrySubmitRetryResamplesCurrentReplicaSet) {
+  RouterFixture fx;
+  Router router(fx.ropt);
+  const Netlist nl = small_grid(7);
+  runtime::ModelOptions mopt;
+  mopt.queue_bound = 4;
+  RoutedHandle h = router.load("grid", nl, mopt);
+  ASSERT_EQ(router.replicas(h), 2u);
+
+  // Fill both replicas to their bound: 8 submissions alternate shards
+  // (cold-fleet tie-break), 4 parked on each, nothing seals (16 lanes).
+  std::vector<std::future<std::vector<bool>>> parked;
+  std::vector<bool> bits(nl.num_inputs(), true);
+  for (int i = 0; i < 8; ++i) parked.push_back(router.submit(h, bits));
+  ASSERT_EQ(router.shard(0).in_flight(), 4u);
+  ASSERT_EQ(router.shard(1).in_flight(), 4u);
+
+  // Inside the sampling->attempt window, retire shard 1's replica. Its four
+  // parked futures drain out during set_replicas — nothing is dropped.
+  bool shrink = true;
+  router.set_route_hook([&] {
+    if (shrink) {
+      shrink = false;
+      router.set_replicas(h, 1);
+    }
+  });
+  std::future<std::vector<bool>> fut;
+  const SubmitStatus st = router.try_submit(h, bits, &fut);
+  router.set_route_hook(nullptr);
+  // Both candidates were sampled pre-retire (winner: shard 0 by tie-break).
+  // The first attempt hits shard 0's bound; the retry re-samples and finds
+  // only shard 0 again — kQueueFull, not the stale loser's kUnloaded.
+  EXPECT_EQ(st, SubmitStatus::kQueueFull);
+  EXPECT_FALSE(fut.valid());
+  EXPECT_EQ(router.replica_shards(h), (std::vector<std::size_t>{0}));
+
+  router.drain();
+  const std::vector<bool> want = simulate_scalar(nl, bits);
+  for (auto& f : parked) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(f.get(), want);
+  }
+
+  // Exactly one shed per refusal across the survivor: teach shard 0 a
+  // service signal, then refuse one doomed deadline.
+  TeachingHook hook;
+  hook.clock = &fx.clock;
+  router.shard(0).set_member_hook(std::ref(hook));
+  std::vector<std::future<std::vector<bool>>> warm;
+  for (int i = 0; i < 4; ++i) warm.push_back(router.submit(h, bits));
+  router.drain();  // seals the partial batch (the bound is below lane-fill)
+  for (auto& f : warm) f.get();
+  hook.teaching.store(false, std::memory_order_release);
+
+  const FleetReport before = router.report();
+  std::future<std::vector<bool>> doomed;
+  EXPECT_EQ(router.try_submit(h, bits, &doomed, fx.clock.now() + 1us),
+            SubmitStatus::kDeadlineUnmeetable);
+  const FleetReport after = router.report();
+  EXPECT_EQ(after.total.shed, before.total.shed + 1);  // once, not per attempt
+  EXPECT_EQ(after.total.requests, before.total.requests);
+  router.shard(0).set_member_hook(nullptr);
+}
+
 // The fleet trace multiplexes every shard into one Chrome trace, one process
 // per shard. (CI also runs this whole file with LBNN_FORCE_TRACING=1; here
 // tracing is on explicitly so the test asserts unconditionally.)
